@@ -1,0 +1,35 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each ``test_fig*.py`` regenerates one paper artifact (reduced column
+sets keep the suite's runtime reasonable), times the regeneration with
+pytest-benchmark, prints the paper-style table, and asserts the paper's
+shape claims via :func:`repro.harness.report.shape_checks`.
+"""
+
+import pytest
+
+
+def assert_shape_checks(result, allow_miss=()):
+    """Fail the test if any shape check (except allow-listed) missed."""
+    from repro.harness.report import shape_checks
+
+    failures = []
+    for line in shape_checks(result):
+        if line.startswith("MISS"):
+            if any(tag in line for tag in allow_miss):
+                continue
+            failures.append(line)
+    assert not failures, "shape expectations missed:\n" + "\n".join(failures)
+
+
+@pytest.fixture(scope="session")
+def print_result():
+    def _print(result):
+        print()
+        print(result.format_table())
+        from repro.harness.report import shape_checks
+
+        for line in shape_checks(result):
+            print("  " + line)
+
+    return _print

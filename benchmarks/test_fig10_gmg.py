@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 10 (geometric multigrid weak scaling)."""
+
+from benchmarks.conftest import assert_shape_checks
+from repro.harness.experiments import fig10_gmg
+
+COLUMNS = [(1, 1), (1, 3), (2, 6), (64, 192)]
+
+
+def test_fig10_gmg_weak_scaling(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig10_gmg.run(columns=COLUMNS), rounds=1, iterations=1
+    )
+    print_result(result)
+    assert_shape_checks(result)
+
+    legate_gpu = result.series["Legate-GPU"]
+    legate_cpu = result.series["Legate-CPU"]
+    scipy = result.series["SciPy"]
+    # GPU throughput dwarfs CPUs on this workload.
+    assert legate_gpu.first() > 5 * legate_cpu.first()
+    # SciPy cannot scale; Legate-CPU weak-scales to 64 sockets.
+    assert legate_cpu.last() > 0.9 * legate_cpu.first()
+    assert scipy.last() == scipy.first()

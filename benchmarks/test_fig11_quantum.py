@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 11 (quantum simulation weak scaling)."""
+
+from benchmarks.conftest import assert_shape_checks
+from repro.harness.experiments import fig11_quantum
+
+PROCS = [1, 4, 16, 64]
+
+
+def test_fig11_quantum_weak_scaling(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig11_quantum.run(proc_counts=PROCS), rounds=1, iterations=1
+    )
+    print_result(result)
+    assert_shape_checks(result)
+
+    gpu = result.series["Legate-GPU"]
+    cpu = result.series["Legate-CPU"]
+    # Both distributed series lose weak-scaling efficiency — the
+    # near-all-to-all halo exchange of the wide-band Hamiltonian.
+    assert gpu.at(16) < 0.5 * gpu.at(1)
+    assert cpu.at(16) < 0.7 * cpu.at(1)
+    # The CPU series survives the 64-processor point; the GPU one OOMs.
+    assert cpu.at(64) is not None
+    assert gpu.at(64) is None

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the Figure 12 table (matrix factorization)."""
+
+from benchmarks.conftest import assert_shape_checks
+from repro.harness.experiments import fig12_matfact
+
+
+def test_fig12_matfact_table(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig12_matfact.run(), rounds=1, iterations=1
+    )
+    print_result(result)
+    assert_shape_checks(result)
+
+    cupy = result.series["CuPy (samples/s)"]
+    legate = result.series["Legate Sparse (samples/s)"]
+    resources = result.series["Legate min resources (GPUs)"]
+    # Every dataset is trainable with Legate by adding GPUs; CuPy stops
+    # at ML-25M (the paper's headline for this table).
+    assert all(v is not None for _, v in legate.points)
+    assert resources.at(0) == 1.0
+    assert resources.at(1) >= 2.0
+    # Note (recorded in EXPERIMENTS.md): our even row-wise partitioning
+    # packs the 50M/100M datasets into fewer GPUs than the paper's 6/12.
+    assert resources.at(3) >= 2 * resources.at(1)

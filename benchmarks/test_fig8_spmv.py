@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 8 (SpMV microbenchmark weak scaling)."""
+
+from benchmarks.conftest import assert_shape_checks
+from repro.harness.experiments import fig8_spmv
+
+COLUMNS = [(1, 1), (1, 3), (2, 6), (8, 24), (64, 192)]
+
+
+def test_fig8_spmv_weak_scaling(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig8_spmv.run(columns=COLUMNS), rounds=1, iterations=1
+    )
+    print_result(result)
+    assert_shape_checks(result)
+
+    # Quantitative spot checks beyond the generic shape list.
+    legate = result.series["Legate-GPU"]
+    petsc = result.series["PETSc-GPU"]
+    scipy = result.series["SciPy"]
+    # Trivially parallel: every distributed system stays within 10% of
+    # its single-column throughput out to 192 GPUs.
+    assert legate.last() >= 0.9 * legate.first()
+    assert petsc.last() >= 0.9 * petsc.first()
+    # The single-core SciPy baseline is orders of magnitude below GPUs.
+    assert legate.first() > 50 * scipy.first()

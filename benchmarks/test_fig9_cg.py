@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 9 (Conjugate Gradient weak scaling)."""
+
+from benchmarks.conftest import assert_shape_checks
+from repro.harness.experiments import fig9_cg
+
+COLUMNS = [(1, 1), (1, 3), (2, 6), (16, 48), (32, 96), (64, 192)]
+
+
+def test_fig9_cg_weak_scaling(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig9_cg.run(columns=COLUMNS), rounds=1, iterations=1
+    )
+    print_result(result)
+    assert_shape_checks(result)
+
+    legate = result.series["Legate-GPU"]
+    petsc = result.series["PETSc-GPU"]
+    # The falloff is at scale, not at the start: Legate holds >85%
+    # efficiency through 6 GPUs, and loses more ground by 192.
+    assert legate.at(6) >= 0.85 * legate.at(1)
+    assert legate.at(192) < 0.8 * legate.at(1)
+    # PETSc stays closer to flat than Legate (the paper's contrast).
+    assert petsc.at(192) / petsc.at(1) > legate.at(192) / legate.at(1)

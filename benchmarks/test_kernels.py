@@ -1,0 +1,92 @@
+"""Wall-clock microbenchmarks of the generated (DISTAL) kernels.
+
+Unlike the figure benchmarks (which measure *simulated* time on the
+machine model), these measure the real execution speed of the
+vectorized NumPy shard kernels — the pieces that must stay fast for the
+reproduction itself to be usable.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.numeric as rnp
+import repro.sparse as sp
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, summit
+
+N = 200_000
+DENSITY_NNZ_PER_ROW = 8
+
+
+@pytest.fixture(scope="module")
+def setup():
+    machine = summit(nodes=1)
+    rt = Runtime(machine.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate())
+    with runtime_scope(rt):
+        rng = np.random.default_rng(0)
+        mat = sps.random(
+            N, N, density=DENSITY_NNZ_PER_ROW / N, random_state=rng, format="csr"
+        )
+        A = sp.csr_matrix(mat)
+        x = rnp.array(rng.random(N))
+        X = rnp.array(rng.random((N, 8)))
+        yield rt, A, x, X, mat
+
+
+def test_csr_spmv_kernel(benchmark, setup):
+    rt, A, x, X, mat = setup
+    with runtime_scope(rt):
+        y = benchmark(lambda: A @ x)
+        np.testing.assert_allclose(y.to_numpy(), mat @ x.to_numpy(), rtol=1e-6)
+
+
+def test_csr_spmv_transpose_kernel(benchmark, setup):
+    rt, A, x, X, mat = setup
+    with runtime_scope(rt):
+        y = benchmark(lambda: x @ A)
+        np.testing.assert_allclose(y.to_numpy(), mat.T @ x.to_numpy(), rtol=1e-6)
+
+
+def test_csr_spmm_kernel(benchmark, setup):
+    rt, A, x, X, mat = setup
+    with runtime_scope(rt):
+        Y = benchmark(lambda: A @ X)
+        np.testing.assert_allclose(Y.to_numpy(), mat @ X.to_numpy(), rtol=1e-6)
+
+
+def test_csr_sddmm_kernel(benchmark, setup):
+    rt, A, x, X, mat = setup
+    with runtime_scope(rt):
+        D = X * 0.5  # distinct operand: C aligns rows, D is gathered
+        R = benchmark(lambda: A.sddmm(X, D))
+        assert R.nnz == A.nnz
+
+
+def test_elementwise_add_structural(benchmark, setup):
+    rt, A, x, X, mat = setup
+    with runtime_scope(rt):
+        B = 2.0 * A
+        C = benchmark(lambda: A + B)
+        assert C.nnz == A.nnz
+
+
+def test_spgemm(benchmark, setup):
+    rt, A, x, X, mat = setup
+    with runtime_scope(rt):
+        C = benchmark.pedantic(lambda: A @ A, rounds=1, iterations=1)
+        assert C.shape == (N, N)
+
+
+def test_dense_axpy(benchmark, setup):
+    rt, A, x, X, mat = setup
+    with runtime_scope(rt):
+        benchmark(lambda: x + x * 2.0)
+
+
+def test_dense_dot(benchmark, setup):
+    rt, A, x, X, mat = setup
+    with runtime_scope(rt):
+        val = benchmark(lambda: float(rnp.dot(x, x)))
+        assert val > 0

@@ -1,0 +1,85 @@
+"""PageRank on a random web graph — a classic SpMV-bound workload.
+
+Builds a power-law directed graph, forms the column-stochastic
+transition matrix with the sparse API, and runs the damped power method:
+
+    r <- (1 - d)/n + d * (P @ r + dangling mass)
+
+Everything in the loop is a distributed operation; the fused
+expression-template path (repro.numeric.lazy) collapses the per-iteration
+element-wise chain into a single task, the way the paper's cited
+task-fusion work would.
+
+Run:  python examples/pagerank.py [--nodes 5000] [--procs 3]
+"""
+
+import argparse
+
+import numpy as np
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=5000)
+    parser.add_argument("--edges-per-node", type=int, default=8)
+    parser.add_argument("--damping", type=float, default=0.85)
+    parser.add_argument("--procs", type=int, default=3)
+    parser.add_argument("--tol", type=float, default=1e-10)
+    args = parser.parse_args()
+
+    from repro.legion import Runtime, RuntimeConfig, runtime_scope
+    from repro.machine import ProcessorKind, summit
+    from repro.numeric.lazy import evaluate, lazy
+
+    import repro.numeric as rnp
+    import repro.sparse as sp
+
+    machine = summit(nodes=max(1, (args.procs + 5) // 6))
+    rt = Runtime(machine.scope(ProcessorKind.GPU, args.procs), RuntimeConfig.legate())
+
+    n = args.nodes
+    rng = np.random.default_rng(0)
+    # Power-law out-links: popular pages attract more edges.
+    weights = 1.0 / np.arange(1, n + 1) ** 0.8
+    weights /= weights.sum()
+    src = np.repeat(np.arange(n), args.edges_per_node)
+    dst = rng.choice(n, size=len(src), p=weights)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+
+    with runtime_scope(rt):
+        # Column-stochastic transition matrix P[dst, src] = 1/outdeg(src).
+        outdeg = np.bincount(src, minlength=n).astype(float)
+        vals = 1.0 / outdeg[src]
+        P = sp.csr_matrix((vals, (dst, src)), shape=(n, n))
+
+        r = rnp.full(n, 1.0 / n)
+        teleport = (1.0 - args.damping) / n
+        iters = 0
+        while True:
+            iters += 1
+            spread = P @ r
+            r_next = evaluate(lazy(spread) * args.damping + teleport)
+            # Dangling nodes have no out-links; their mass teleports.
+            mass = float(rnp.sum(r_next))
+            r_next = r_next + (1.0 - mass) / n
+            delta = float(rnp.linalg.norm(r_next - r))
+            r = r_next
+            if delta < args.tol or iters > 200:
+                break
+
+        ranks = r.to_numpy()
+        top = np.argsort(ranks)[::-1][:8]
+        print(f"PageRank on {n} nodes / {len(src)} edges "
+              f"({args.procs} simulated GPUs)")
+        print(f"converged in {iters} iterations (delta={delta:.2e})")
+        print(f"rank mass: {ranks.sum():.12f}")
+        print("top pages:", ", ".join(f"#{i} ({ranks[i]:.5f})" for i in top))
+        prof = rt.profiler
+        print(f"simulated time: {rt.elapsed()*1e3:.2f} ms, "
+              f"{prof.tasks_launched} tasks, "
+              f"{prof.total_copy_bytes():,} bytes moved")
+
+
+if __name__ == "__main__":
+    main()

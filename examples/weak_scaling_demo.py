@@ -1,0 +1,44 @@
+"""Regenerate a paper figure interactively, with a terminal plot.
+
+Runs one of the weak-scaling experiments (default: Figure 8's SpMV
+microbenchmark) over a reduced column set and renders the same log-log
+chart the paper plots, as ASCII.
+
+Run:  python examples/weak_scaling_demo.py [--figure fig8|fig9|fig10|fig11] [--full]
+"""
+
+import argparse
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figure", default="fig8", choices=["fig8", "fig9", "fig10", "fig11"]
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="all 8 weak-scaling columns (slow)"
+    )
+    args = parser.parse_args()
+
+    from repro.harness.config import WEAK_SCALING_COLUMNS
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.harness.plotting import ascii_plot
+    from repro.harness.report import shape_checks
+
+    columns = WEAK_SCALING_COLUMNS if args.full else [(1, 1), (1, 3), (2, 6), (8, 24), (64, 192)]
+    module = ALL_EXPERIMENTS[args.figure]
+    if args.figure == "fig11":
+        result = module.run(proc_counts=None if args.full else [1, 4, 16, 64])
+    else:
+        result = module.run(columns=columns)
+
+    print(result.format_table())
+    print()
+    print(ascii_plot(result))
+    print()
+    for line in shape_checks(result):
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro: a reproduction of *Legate Sparse* (SC '23, Yadav et al.).
+
+A distributed drop-in replacement for ``scipy.sparse`` that composes
+with a distributed NumPy, built on a Legion-like simulated runtime.
+The three imports most programs need::
+
+    import repro.numeric as np      # the cuNumeric-alike
+    import repro.sparse  as sp      # the legate.sparse-alike
+    from repro.legion import Runtime, RuntimeConfig, set_runtime
+
+Configure a machine before (or instead of) the default::
+
+    from repro.machine import ProcessorKind, summit
+    rt = Runtime(summit(nodes=2).scope(ProcessorKind.GPU, 8),
+                 RuntimeConfig.legate())
+    set_runtime(rt)
+
+See README.md for the tour, DESIGN.md for the substitution table and
+calibration, docs/ARCHITECTURE.md for internals, and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

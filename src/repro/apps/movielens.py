@@ -1,0 +1,131 @@
+"""Synthetic MovieLens-like rating data + randomized fractal expansion.
+
+The paper trains on MovieLens 10M/25M and derives 50M/100M with the
+randomized fractal (Kronecker-style) expansion of Belletti et al. — the
+same expansion implemented here.  The synthetic generator reproduces the
+statistics that drive throughput: a power-law item popularity, lognormal
+user activity, and 0.5..5 ratings with user/item biases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+Triples = Tuple[np.ndarray, np.ndarray, np.ndarray]  # (users, items, ratings)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape metadata of a (synthetic) MovieLens dataset."""
+    name: str
+    n_users: int
+    n_items: int
+    n_ratings: int
+
+
+# Real MovieLens shapes; 50M/100M are fractal expansions of the 25M data
+# (the paper expands from 20M; the shapes below match its table's scale).
+ML_SPECS = {
+    "ml-10m": DatasetSpec("ml-10m", 69_878, 10_677, 10_000_054),
+    "ml-25m": DatasetSpec("ml-25m", 162_541, 59_047, 25_000_095),
+    "ml-50m": DatasetSpec("ml-50m", 325_082, 118_094, 50_000_190),
+    "ml-100m": DatasetSpec("ml-100m", 650_164, 236_188, 100_000_380),
+}
+
+
+def synthetic_movielens(
+    n_users: int, n_items: int, n_ratings: int, seed: int = 0
+) -> Triples:
+    """Ratings with power-law item popularity and biased users/items.
+
+    Each (user, item) pair appears at most once, like real MovieLens —
+    duplicate pairs would be summed by sparse-matrix assembly.
+    """
+    rng = np.random.default_rng(seed)
+    n_ratings = min(n_ratings, (n_users * n_items) // 2)
+    # Item popularity ~ Zipf; user activity ~ lognormal.
+    item_w = 1.0 / np.arange(1, n_items + 1) ** 1.1
+    item_w /= item_w.sum()
+    user_w = rng.lognormal(0.0, 1.0, size=n_users)
+    user_w /= user_w.sum()
+    keys = np.empty(0, dtype=np.int64)
+    while len(keys) < n_ratings:
+        need = int((n_ratings - len(keys)) * 1.5) + 16
+        users = rng.choice(n_users, size=need, p=user_w).astype(np.int64)
+        items = rng.choice(n_items, size=need, p=item_w).astype(np.int64)
+        keys = np.unique(np.concatenate([keys, users * n_items + items]))
+    keys = rng.permutation(keys)[:n_ratings]
+    users = (keys // n_items).astype(np.int64)
+    items = (keys % n_items).astype(np.int64)
+    user_bias = rng.normal(0.0, 0.4, size=n_users)
+    item_bias = rng.normal(0.0, 0.6, size=n_items)
+    raw = 3.5 + user_bias[users] + item_bias[items] + rng.normal(0, 0.7, n_ratings)
+    ratings = np.clip(np.round(raw * 2) / 2, 0.5, 5.0)
+    return users, items, ratings
+
+
+def fractal_expand(
+    triples: Triples,
+    shape: Tuple[int, int],
+    factor: int = 2,
+    seed: int = 0,
+) -> Tuple[Triples, Tuple[int, int]]:
+    """Randomized fractal expansion (Belletti et al.).
+
+    Each rating (u, i, r) is replicated into ``factor`` of the
+    ``factor x factor`` user/item blocks of the expanded matrix, with the
+    rating perturbed — growing users, items and ratings by ``factor``
+    while preserving the correlation structure.
+    """
+    users, items, ratings = triples
+    n_users, n_items = shape
+    rng = np.random.default_rng(seed)
+    out_u, out_i, out_r = [], [], []
+    for _ in range(factor):
+        block_u = rng.integers(0, factor, size=len(users))
+        block_i = rng.integers(0, factor, size=len(items))
+        noise = rng.normal(0, 0.25, size=len(ratings))
+        out_u.append(users + block_u * n_users)
+        out_i.append(items + block_i * n_items)
+        out_r.append(np.clip(ratings + noise, 0.5, 5.0))
+    all_u = np.concatenate(out_u)
+    all_i = np.concatenate(out_i)
+    all_r = np.concatenate(out_r)
+    # Collisions between replicas are dropped (pairs stay unique).
+    keys = all_u * np.int64(n_items * factor) + all_i
+    _, first = np.unique(keys, return_index=True)
+    expanded = (all_u[first], all_i[first], all_r[first])
+    return expanded, (n_users * factor, n_items * factor)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 0) -> Tuple[Triples, DatasetSpec]:
+    """A (possibly size-reduced) synthetic instance of a named dataset.
+
+    ``scale`` < 1 shrinks the generated data for host-RAM-bound runs; the
+    harness compensates with the runtime's ``data_scale`` so simulated
+    time and memory reflect the full dataset.
+    """
+    spec = ML_SPECS[name]
+    # Dimensions scale by sqrt(scale) so the rating density of the
+    # reduced instance matches the full dataset's.
+    dim = np.sqrt(scale)
+    n_users = max(64, int(spec.n_users * dim))
+    n_items = max(64, int(spec.n_items * dim))
+    n_ratings = max(512, int(spec.n_ratings * scale))
+    if name in ("ml-10m", "ml-25m"):
+        return synthetic_movielens(n_users, n_items, n_ratings, seed), spec
+    base_scaled = ML_SPECS["ml-25m"]
+    base_users = max(64, int(base_scaled.n_users * dim))
+    base_items = max(64, int(base_scaled.n_items * dim))
+    base_ratings = max(512, int(base_scaled.n_ratings * scale))
+    base = synthetic_movielens(base_users, base_items, base_ratings, seed)
+    factor = 2 if name == "ml-50m" else 4
+    if factor == 2:
+        expanded, _ = fractal_expand(base, (base_users, base_items), 2, seed)
+    else:
+        once, shape1 = fractal_expand(base, (base_users, base_items), 2, seed)
+        expanded, _ = fractal_expand(once, shape1, 2, seed + 1)
+    return expanded, spec

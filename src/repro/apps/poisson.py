@@ -1,0 +1,30 @@
+"""2-D Poisson problem: the PDE behind the CG and GMG benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sps
+
+import repro.sparse as sp
+
+
+def _poisson1d_scipy(k: int) -> sps.csr_matrix:
+    return sps.diags(
+        [2.0 * np.ones(k), -np.ones(k - 1), -np.ones(k - 1)], [0, 1, -1]
+    ).tocsr()
+
+
+def poisson2d_scipy(k: int) -> sps.csr_matrix:
+    """The standard 5-point Laplacian on a k x k grid (n = k^2 rows)."""
+    T = _poisson1d_scipy(k)
+    eye = sps.eye(k)
+    return (sps.kron(eye, T) + sps.kron(T, eye)).tocsr()
+
+
+def poisson2d(k: int) -> "sp.csr_matrix":
+    """Distributed 5-point Laplacian, built with the sparse API itself."""
+    T = sp.diags(
+        [2.0 * np.ones(k), -np.ones(k - 1), -np.ones(k - 1)], [0, 1, -1]
+    )
+    eye = sp.eye(k)
+    return (sp.kron(eye, T) + sp.kron(T, eye)).tocsr()

@@ -1,0 +1,73 @@
+"""Factories for the compared systems (runtime configurations).
+
+SciPy and CuPy run the *same program source* as Legate — that is the
+drop-in-replacement premise of Fig. 1 — but on a single processor with
+the cost profile of the real system: SciPy's sparse operations are
+single-threaded C with negligible dispatch cost; CuPy offloads each call
+to one GPU with a small launch overhead and cuSPARSE kernel behaviour
+(including the inefficient SDDMM the paper observes in Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.baselines.petsc import MPISim
+from repro.legion.runtime import Runtime, RuntimeConfig
+from repro.machine import Machine, MachineScope, ProcessorKind
+
+
+@dataclass
+class SystemSpec:
+    """Names a simulated system for harness tables."""
+
+    name: str
+    make: Callable[[Machine], object]
+
+
+def legate_gpu_system(
+    machine: Machine,
+    gpus: int,
+    per_node: Optional[int] = None,
+    data_scale: float = 1.0,
+    **overrides,
+) -> Runtime:
+    """A Legate runtime over GPUs."""
+    scope = machine.scope(ProcessorKind.GPU, gpus, per_node=per_node)
+    return Runtime(scope, RuntimeConfig.legate(data_scale=data_scale, **overrides))
+
+
+def legate_cpu_system(
+    machine: Machine,
+    sockets: int,
+    data_scale: float = 1.0,
+    **overrides,
+) -> Runtime:
+    """A Legate runtime over CPU sockets."""
+    scope = machine.scope(ProcessorKind.CPU_SOCKET, sockets)
+    return Runtime(scope, RuntimeConfig.legate(data_scale=data_scale, **overrides))
+
+
+def scipy_system(machine: Machine, data_scale: float = 1.0, **overrides) -> Runtime:
+    """Single-threaded SciPy: one CPU core executes everything."""
+    scope = machine.scope(ProcessorKind.CPU_CORE, 1)
+    return Runtime(scope, RuntimeConfig.scipy(data_scale=data_scale, **overrides))
+
+
+def cupy_system(machine: Machine, data_scale: float = 1.0, **overrides) -> Runtime:
+    """CuPy: a single GPU with low dispatch overhead."""
+    scope = machine.scope(ProcessorKind.GPU, 1)
+    return Runtime(scope, RuntimeConfig.cupy(data_scale=data_scale, **overrides))
+
+
+def petsc_sim(
+    machine: Machine,
+    kind: ProcessorKind,
+    count: int,
+    per_node: Optional[int] = None,
+    data_scale: float = 1.0,
+) -> MPISim:
+    """The message-passing world the PETSc baseline runs in."""
+    scope = machine.scope(kind, count, per_node=per_node)
+    return MPISim(scope, data_scale=data_scale)

@@ -1,0 +1,58 @@
+"""The constraint language: align, image, broadcast (paper §4.1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constraints.store import Store
+
+
+class ImageKind(enum.Enum):
+    """Which image operation relates the source and destination.
+
+    ``RANGE``: the source holds ``{lo, hi}`` ranges (a ``pos`` region) and
+    the destination partition is the union of ranges per color (Fig. 2a).
+    ``COORDINATE``: the source holds indices (a ``crd`` region) and the
+    destination partition is the set of referenced elements (Fig. 2b).
+    """
+
+    RANGE = "range"
+    COORDINATE = "coordinate"
+
+
+@dataclass(frozen=True)
+class Align:
+    """The two stores must use identical partitions (element-wise ops)."""
+
+    left: Store
+    right: Store
+
+
+@dataclass(frozen=True)
+class Image:
+    """``dest``'s partition is the image of ``source``'s partition."""
+
+    source: Store
+    dest: Store
+    kind: ImageKind
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """The store is replicated to every shard (small/scalar operands)."""
+
+    store: Store
+
+
+@dataclass(frozen=True)
+class Explicit:
+    """The store uses a caller-supplied partition (manual partitioning).
+
+    Used where the access pattern is structured but data-dependent in a
+    way the image operator cannot express directly — e.g. the offset
+    diagonals of a DIA matrix-vector product.
+    """
+
+    store: Store
+    partition: object  # Partition; typed loosely to avoid an import cycle

@@ -1,0 +1,196 @@
+"""The constraint solver: concrete partitions from declared constraints.
+
+The solving procedure follows §4.1 of the paper:
+
+1. Broadcast stores are replicated.
+2. Alignment constraints are grouped with union-find; each group gets one
+   partition.  If any member already has a *key partition* with the right
+   color count that is valid for every member, the solver reuses the key
+   partition of the **largest** member — keeping the biggest operand (for
+   SpMV, the sparse matrix) in place and re-partitioning the least data.
+   Otherwise a fresh even tiling is created.
+3. Image constraints are resolved in dependency order: once a source's
+   partition is known, the destination's partition is computed with the
+   dependent-partitioning image operation (by range or by coordinate).
+
+The constraints are designed so a solution always exists; contradictory
+programs (aligning different-length stores, broadcasting an aligned
+store) raise :class:`ConstraintError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.constraints.constraint import Align, Broadcast, Explicit, Image, ImageKind
+from repro.constraints.store import Store
+from repro.legion.partition import (
+    ImageByCoordinate,
+    ImageByRange,
+    Partition,
+    Replicate,
+    Tiling,
+)
+
+
+class ConstraintError(ValueError):
+    """The declared constraints are unsatisfiable."""
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: Dict[int, int] = {}
+        self._items: Dict[int, Store] = {}
+
+    def add(self, store: Store) -> None:
+        """Register a store."""
+        uid = store.region.uid
+        self._parent.setdefault(uid, uid)
+        self._items.setdefault(uid, store)
+
+    def find(self, uid: int) -> int:
+        """Root of a region uid."""
+        while self._parent[uid] != uid:
+            self._parent[uid] = self._parent[self._parent[uid]]
+            uid = self._parent[uid]
+        return uid
+
+    def union(self, a: Store, b: Store) -> None:
+        """Merge two stores' groups."""
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a.region.uid), self.find(b.region.uid)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def groups(self) -> List[List[Store]]:
+        """The alignment groups."""
+        by_root: Dict[int, List[Store]] = {}
+        for uid, store in self._items.items():
+            by_root.setdefault(self.find(uid), []).append(store)
+        return list(by_root.values())
+
+
+def solve_partitions(
+    stores: Iterable[Store],
+    constraints: Iterable[object],
+    colors: int,
+    reuse_partitions: bool = True,
+    exact_images: bool = False,
+) -> Dict[int, Partition]:
+    """Assign a partition to every store; keys are region uids."""
+    stores = list(stores)
+    constraints = list(constraints)
+    solution: Dict[int, Partition] = {}
+
+    broadcast_uids = set()
+    for con in constraints:
+        if isinstance(con, Broadcast):
+            uid = con.store.region.uid
+            broadcast_uids.add(uid)
+            solution[uid] = Replicate(con.store.region, colors)
+        elif isinstance(con, Explicit):
+            uid = con.store.region.uid
+            broadcast_uids.add(uid)  # excluded from alignment groups
+            solution[uid] = con.partition  # type: ignore[assignment]
+
+    image_constraints = [c for c in constraints if isinstance(c, Image)]
+    image_dest_uids = {c.dest.region.uid for c in image_constraints}
+
+    uf = _UnionFind()
+    for store in stores:
+        uid = store.region.uid
+        if uid in broadcast_uids or uid in image_dest_uids:
+            continue
+        uf.add(store)
+    for con in constraints:
+        if isinstance(con, Align):
+            for side in (con.left, con.right):
+                uid = side.region.uid
+                if uid in broadcast_uids:
+                    raise ConstraintError(
+                        f"store {side.region.name} is both aligned and broadcast"
+                    )
+                if uid in image_dest_uids:
+                    raise ConstraintError(
+                        f"store {side.region.name} is both aligned and an "
+                        "image destination"
+                    )
+            uf.union(con.left, con.right)
+
+    for group in uf.groups():
+        extents = {s.shape[0] for s in group}
+        if len(extents) != 1:
+            names = ", ".join(s.region.name for s in group)
+            raise ConstraintError(
+                f"aligned stores must agree on dimension 0: {names}"
+            )
+        partition = _choose_group_partition(group, colors, reuse_partitions)
+        for store in group:
+            solution[store.region.uid] = _retarget(partition, store)
+
+    # Resolve image constraints in dependency order (images may chain:
+    # pos -> crd -> x).
+    pending = list(image_constraints)
+    while pending:
+        progressed = False
+        remaining: List[Image] = []
+        for con in pending:
+            src_part = solution.get(con.source.region.uid)
+            if src_part is None:
+                remaining.append(con)
+                continue
+            solution[con.dest.region.uid] = _image(con, src_part, exact_images)
+            progressed = True
+        if not progressed:
+            names = ", ".join(c.source.region.name for c in remaining)
+            raise ConstraintError(
+                f"cyclic or dangling image constraints via sources: {names}"
+            )
+        pending = remaining
+
+    # Any unconstrained store falls back to its key partition or a tiling.
+    for store in stores:
+        uid = store.region.uid
+        if uid in solution:
+            continue
+        if (
+            reuse_partitions
+            and store.has_matching_key(colors)
+            and isinstance(store.key_partition, Tiling)
+        ):
+            solution[uid] = store.key_partition
+        else:
+            solution[uid] = Tiling.create(store.region, colors)
+    return solution
+
+
+def _choose_group_partition(
+    group: List[Store], colors: int, reuse: bool
+) -> Tiling:
+    if reuse:
+        candidates = [
+            s
+            for s in group
+            if s.has_matching_key(colors) and isinstance(s.key_partition, Tiling)
+        ]
+        if candidates:
+            largest = max(candidates, key=lambda s: s.nbytes)
+            return largest.key_partition  # type: ignore[return-value]
+    largest = max(group, key=lambda s: s.nbytes)
+    return Tiling.create(largest.region, colors)
+
+
+def _retarget(partition: Tiling, store: Store) -> Tiling:
+    """Apply a tiling's boundaries to another same-length store."""
+    if partition.region.uid == store.region.uid:
+        return partition
+    return Tiling(store.region, partition.boundaries)
+
+
+def _image(con: Image, src_part: Partition, exact: bool = False) -> Partition:
+    if con.kind == ImageKind.RANGE:
+        return ImageByRange(con.source.region, src_part, con.dest.region)
+    return ImageByCoordinate(
+        con.source.region, src_part, con.dest.region, exact=exact
+    )

@@ -1,0 +1,152 @@
+"""AutoTask: the constraint-declaring task launch API (paper Fig. 4).
+
+Library operations create an :class:`AutoTask`, register their stores
+with privileges, declare partitioning constraints, and call
+:meth:`AutoTask.execute`.  The solver picks concrete partitions, the
+runtime performs mapping/coherence/timing, and written stores have their
+key partitions updated so later operations (from any library) can reuse
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.constraints.constraint import Align, Broadcast, Explicit, Image, ImageKind
+from repro.constraints.solver import solve_partitions
+from repro.constraints.store import Store
+from repro.legion.future import Future
+from repro.legion.partition import Tiling
+from repro.legion.privilege import Privilege
+from repro.legion.runtime import Runtime
+from repro.legion.task import CostFn, KernelFn, Requirement, TaskLaunch, default_cost
+
+
+class AutoTask:
+    """A task launch described by stores + constraints."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        name: str,
+        kernel: KernelFn,
+        cost_fn: Optional[CostFn] = None,
+        colors: Optional[int] = None,
+    ):
+        self.runtime = runtime
+        self.name = name
+        self.kernel = kernel
+        self.cost_fn = cost_fn or default_cost
+        self.colors = colors
+        self._args: List[tuple] = []  # (name, store, privilege)
+        self._constraints: List[object] = []
+        self._scalars: Dict[str, Any] = {}
+        self._scalar_reduction: Optional[str] = None
+        self._by_name: Dict[str, Store] = {}
+
+    # ------------------------------------------------------------------
+    # Region arguments
+    # ------------------------------------------------------------------
+    def _add(self, name: str, store: Store, privilege: Privilege) -> None:
+        if name in self._by_name:
+            raise ValueError(f"duplicate argument name {name!r}")
+        self._args.append((name, store, privilege))
+        self._by_name[name] = store
+
+    def add_input(self, name: str, store: Store) -> None:
+        """Register a read-only store under a kernel name."""
+        self._add(name, store, Privilege.READ)
+
+    def add_output(self, name: str, store: Store, discard: bool = True) -> None:
+        """Register an output store (write-discard by default)."""
+        priv = Privilege.WRITE_DISCARD if discard else Privilege.WRITE
+        self._add(name, store, priv)
+
+    def add_inout(self, name: str, store: Store) -> None:
+        """Register a read-write store."""
+        self._add(name, store, Privilege.WRITE)
+
+    def add_reduction(self, name: str, store: Store) -> None:
+        """Register a REDUCE-privilege (accumulated) store."""
+        self._add(name, store, Privilege.REDUCE)
+
+    def add_scalar_arg(self, name: str, value: Any) -> None:
+        """Attach a scalar (or Future) argument."""
+        self._scalars[name] = value
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def add_alignment_constraint(self, left: Store, right: Store) -> None:
+        """Require identical partitions (Fig. 4)."""
+        self._constraints.append(Align(left, right))
+
+    def add_image_constraint(
+        self, source: Store, dests, kind: str = "range"
+    ) -> None:
+        """Partition dests as the image of source."""
+        image_kind = ImageKind(kind)
+        if isinstance(dests, Store):
+            dests = [dests]
+        for dest in dests:
+            self._constraints.append(Image(source, dest, image_kind))
+
+    def add_broadcast(self, store: Store) -> None:
+        """Replicate the store to every shard."""
+        self._constraints.append(Broadcast(store))
+
+    def add_explicit_partition(self, store: Store, partition) -> None:
+        """Use a caller-supplied partition."""
+        self._constraints.append(Explicit(store, partition))
+
+    def set_scalar_reduction(self, op: str) -> None:
+        """Reduce kernel return values into a Future."""
+        self._scalar_reduction = op
+
+    # ------------------------------------------------------------------
+    def execute(self) -> Optional[Future]:
+        """Solve constraints, launch, update key partitions."""
+        colors = self.colors if self.colors is not None else self.runtime.num_procs
+        stores = [store for _, store, _ in self._args]
+        solution = solve_partitions(
+            stores,
+            self._constraints,
+            colors,
+            reuse_partitions=self.runtime.config.reuse_partitions,
+            exact_images=self.runtime.config.exact_images,
+        )
+        requirements = []
+        fold_partition = None
+        for name, store, privilege in self._args:
+            partition = solution[store.region.uid]
+            requirements.append(
+                Requirement(name, store.region, partition, privilege)
+            )
+            if privilege == Privilege.REDUCE and fold_partition is None:
+                if isinstance(store.key_partition, Tiling) and (
+                    store.key_partition.color_count == colors
+                ):
+                    fold_partition = store.key_partition
+                else:
+                    fold_partition = Tiling.create(store.region, colors)
+
+        launch = TaskLaunch(
+            name=self.name,
+            requirements=requirements,
+            kernel=self.kernel,
+            cost_fn=self.cost_fn,
+            scalars=self._scalars,
+            reduction=self._scalar_reduction,
+            fold_partition=fold_partition,
+        )
+        result = self.runtime.launch(launch)
+
+        for name, store, privilege in self._args:
+            if not privilege.writes:
+                continue
+            partition = solution[store.region.uid]
+            if privilege == Privilege.REDUCE:
+                store.set_key_partition(fold_partition)
+            elif isinstance(partition, Tiling):
+                store.set_key_partition(partition)
+        return result

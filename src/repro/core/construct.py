@@ -1,0 +1,171 @@
+"""Construction routines: eye, diags, random, kron, stacking.
+
+Assembly happens on the host (like the paper, which leaves SciPy's
+sequential assembly formats unsupported); the resulting matrices are
+fully distributed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.coo import coo_matrix
+from repro.core.dia import dia_matrix
+
+
+def diags(
+    diagonals,
+    offsets: Union[int, Sequence[int]] = 0,
+    shape: Optional[Tuple[int, int]] = None,
+    format: Optional[str] = None,
+    dtype=None,
+):
+    """Build a matrix from diagonals (``scipy.sparse.diags``)."""
+    offsets_scalar = np.isscalar(offsets) or (
+        isinstance(offsets, np.ndarray) and offsets.ndim == 0
+    )
+    if offsets_scalar:
+        diagonals = [np.atleast_1d(np.asarray(diagonals))]
+        offsets = [int(offsets)]
+    else:
+        diagonals = [np.atleast_1d(np.asarray(d)) for d in diagonals]
+        offsets = [int(o) for o in offsets]
+    if len(diagonals) != len(offsets):
+        raise ValueError("number of diagonals does not match offsets")
+    if shape is None:
+        n = max(len(d) + abs(o) for d, o in zip(diagonals, offsets))
+        shape = (n, n)
+    n, m = shape
+    out_dtype = np.dtype(dtype) if dtype is not None else np.result_type(
+        *[d.dtype for d in diagonals]
+    )
+    if out_dtype.kind not in "fc":
+        out_dtype = np.float64
+    uniq = np.array(sorted(set(offsets)), dtype=np.int64)
+    data_t = np.zeros((n, len(uniq)), dtype=out_dtype)
+    dmap = {int(o): i for i, o in enumerate(uniq)}
+    for diag, off in zip(diagonals, offsets):
+        length = max(0, min(n, m - off) - max(0, -off))
+        if length == 0:
+            raise ValueError(f"offset {off} does not fit in shape {shape}")
+        vals = np.broadcast_to(diag, (length,)) if diag.size == 1 else diag
+        if len(vals) != length:
+            raise ValueError(
+                f"diagonal length {len(vals)} does not match offset {off} "
+                f"in shape {shape}"
+            )
+        ilo = max(0, -off)
+        data_t[ilo : ilo + length, dmap[off]] += vals
+    out = dia_matrix._from_host_arrays(data_t, uniq, shape)
+    if format is None or format == "dia":
+        return out
+    return out.asformat(format)
+
+
+def eye(n: int, m: Optional[int] = None, k: int = 0, dtype=np.float64, format: Optional[str] = None):
+    """Identity-like matrix with ones on diagonal ``k``."""
+    n = int(n)
+    m = n if m is None else int(m)
+    length = max(0, min(n, m - k) - max(0, -k))
+    out = diags(
+        [np.ones(length, dtype=dtype)], [k], shape=(n, m), dtype=dtype
+    )
+    if format is None or format == "dia":
+        return out
+    return out.asformat(format)
+
+
+def identity(n: int, dtype=np.float64, format: Optional[str] = None):
+    """The n x n identity."""
+    return eye(n, dtype=dtype, format=format)
+
+
+def random(
+    n: int,
+    m: int,
+    density: float = 0.01,
+    format: str = "coo",
+    dtype=np.float64,
+    random_state=None,
+    data_rvs=None,
+):
+    """Random sparse matrix (``scipy.sparse.random``)."""
+    n, m = int(n), int(m)
+    if not 0 <= density <= 1:
+        raise ValueError("density must be in [0, 1]")
+    rng = (
+        random_state
+        if isinstance(random_state, np.random.Generator)
+        else np.random.default_rng(random_state)
+    )
+    nnz = int(round(density * n * m))
+    if nnz and n * m <= 2**24:
+        flat = rng.choice(n * m, size=nnz, replace=False)
+    else:
+        flat = np.unique(rng.integers(0, n * m, size=int(nnz * 1.05) + 1))[:nnz]
+    row = (flat // m).astype(np.int64)
+    col = (flat % m).astype(np.int64)
+    data = data_rvs(len(flat)) if data_rvs is not None else rng.random(len(flat))
+    out = coo_matrix((data.astype(dtype), (row, col)), shape=(n, m), dtype=dtype)
+    return out.asformat(format)
+
+
+def rand(n, m, density=0.01, format="coo", dtype=np.float64, random_state=None):
+    """Alias of random (scipy.sparse.rand)."""
+    return random(n, m, density=density, format=format, dtype=dtype, random_state=random_state)
+
+
+def kron(A, B, format: Optional[str] = None):
+    """Kronecker product (host assembly from COO triples)."""
+    A, B = A.tocoo(), B.tocoo()
+    ar, ac, av = A.row, A.col, A.data.to_numpy()
+    br, bc, bv = B.row, B.col, B.data.to_numpy()
+    bn, bm = B.shape
+    row = (ar[:, None] * bn + br[None, :]).ravel()
+    col = (ac[:, None] * bm + bc[None, :]).ravel()
+    val = (av[:, None] * bv[None, :]).ravel()
+    shape = (A.shape[0] * bn, A.shape[1] * bm)
+    out = coo_matrix((val, (row, col)), shape=shape)
+    return out if format in (None, "coo") else out.asformat(format)
+
+
+def vstack(blocks, format: Optional[str] = None):
+    """Stack sparse matrices vertically."""
+    blocks = [b.tocoo() for b in blocks]
+    m = blocks[0].shape[1]
+    if any(b.shape[1] != m for b in blocks):
+        raise ValueError("all blocks must have the same number of columns")
+    rows, cols, vals = [], [], []
+    offset = 0
+    for b in blocks:
+        rows.append(b.row + offset)
+        cols.append(b.col)
+        vals.append(b.data.to_numpy())
+        offset += b.shape[0]
+    out = coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(offset, m),
+    )
+    return out if format in (None, "coo") else out.asformat(format)
+
+
+def hstack(blocks, format: Optional[str] = None):
+    """Stack sparse matrices horizontally."""
+    blocks = [b.tocoo() for b in blocks]
+    n = blocks[0].shape[0]
+    if any(b.shape[0] != n for b in blocks):
+        raise ValueError("all blocks must have the same number of rows")
+    rows, cols, vals = [], [], []
+    offset = 0
+    for b in blocks:
+        rows.append(b.row)
+        cols.append(b.col + offset)
+        vals.append(b.data.to_numpy())
+        offset += b.shape[1]
+    out = coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, offset),
+    )
+    return out if format in (None, "coo") else out.asformat(format)

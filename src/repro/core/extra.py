@@ -1,0 +1,154 @@
+"""Additional SciPy-Sparse surface: structural filters and utilities.
+
+``tril``/``triu`` are two-pass structural filters (symbolic counts +
+numeric fill through a fresh ``pos`` image — the same scheme as the
+element-wise kernels); ``find``/``count_nonzero``/``setdiag`` and the
+block constructors are ports onto existing distributed operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+import repro.numeric as rnp
+from repro.constraints import AutoTask, Store
+from repro.core.convert import _expand, _pos_from_counts, _shard_rows
+from repro.numeric.array import ndarray
+
+
+def _filter_structure(A, keep: Callable[[np.ndarray, np.ndarray], np.ndarray], name: str):
+    """C = entries of A where ``keep(rows, cols)`` holds (two-pass)."""
+    from repro.core.csr import csr_matrix
+
+    rt = A.runtime
+    counts = rnp.empty(A.shape[0], dtype=np.int64)
+
+    def count_kernel(ctx):
+        rlo, rhi = _shard_rows(ctx, "pos")
+        rows, cols, jlo, jhi = _expand(ctx.arrays["pos"], ctx.arrays["crd"], rlo, rhi)
+        if rhi <= rlo:
+            return
+        if jhi <= jlo:
+            ctx.arrays["counts"][rlo:rhi] = 0
+            return
+        mask = keep(rows, cols)
+        ctx.arrays["counts"][rlo:rhi] = np.bincount(
+            rows[mask] - rlo, minlength=rhi - rlo
+        )
+
+    def cost(ctx):
+        nnz = ctx.rect("crd").volume()
+        return float(nnz), nnz * 16.0
+
+    task = AutoTask(rt, f"{name}_count", count_kernel, cost)
+    task.add_output("counts", counts.store)
+    task.add_input("pos", A.pos)
+    task.add_input("crd", A.crd)
+    task.add_alignment_constraint(counts.store, A.pos)
+    task.add_image_constraint(A.pos, A.crd, kind="range")
+    task.execute()
+
+    out_pos, nnz = _pos_from_counts(counts)
+    out_crd = Store.create((nnz,), np.int64, runtime=rt, name="crd")
+    out_vals = Store.create((nnz,), A.dtype, runtime=rt, name="vals")
+
+    def fill_kernel(ctx):
+        rlo, rhi = _shard_rows(ctx, "pos")
+        rows, cols, jlo, jhi = _expand(ctx.arrays["pos"], ctx.arrays["crd"], rlo, rhi)
+        if rhi <= rlo or jhi <= jlo:
+            return
+        mask = keep(rows, cols)
+        opos = ctx.arrays["Opos"]
+        olo, ohi = int(opos[rlo, 0]), int(opos[rhi - 1, 1])
+        ctx.arrays["Ocrd"][olo:ohi] = cols[mask]
+        ctx.arrays["Ovals"][olo:ohi] = ctx.arrays["vals"][jlo:jhi][mask]
+
+    task = AutoTask(rt, f"{name}_fill", fill_kernel, cost)
+    task.add_input("pos", A.pos)
+    task.add_input("crd", A.crd)
+    task.add_input("vals", A.vals)
+    task.add_input("Opos", out_pos)
+    task.add_output("Ocrd", out_crd)
+    task.add_output("Ovals", out_vals)
+    task.add_alignment_constraint(A.pos, out_pos)
+    task.add_image_constraint(A.pos, [A.crd, A.vals], kind="range")
+    task.add_image_constraint(out_pos, [out_crd, out_vals], kind="range")
+    task.execute()
+    return csr_matrix._from_stores(out_pos, out_crd, out_vals, A.shape)
+
+
+def tril(A, k: int = 0, format=None):
+    """Lower triangle: entries with ``col - row <= k``."""
+    out = _filter_structure(A.tocsr(), lambda r, c: c - r <= k, "tril")
+    return out if format in (None, "csr") else out.asformat(format)
+
+
+def triu(A, k: int = 0, format=None):
+    """Upper triangle: entries with ``col - row >= k``."""
+    out = _filter_structure(A.tocsr(), lambda r, c: c - r >= k, "triu")
+    return out if format in (None, "csr") else out.asformat(format)
+
+
+def find(A) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(rows, cols, values) of the non-zero entries (``scipy.sparse.find``)."""
+    coo = A.tocoo()
+    vals = coo.data.to_numpy()
+    keep = vals != 0
+    return coo.row[keep], coo.col[keep], vals[keep]
+
+
+def count_nonzero(A) -> int:
+    """Stored entries with non-zero value (explicit zeros excluded)."""
+    csr = A.tocsr()
+    return int(rnp.count_nonzero(csr.data))
+
+
+def setdiag(A, values, k: int = 0):
+    """Return A with its k-th diagonal replaced (functional ``setdiag``).
+
+    Ported entirely onto existing operations (the §5.2 bootstrap style):
+    ``A - diag(current) + diag(new)`` as structural unions.
+    """
+    from repro.core.construct import diags
+
+    if k != 0:
+        raise NotImplementedError("only the main diagonal is supported")
+    n = min(A.shape)
+    csr = A.tocsr()
+    if isinstance(values, (int, float, complex)):
+        values = np.full(n, values)
+    if isinstance(values, ndarray):
+        values = values.to_numpy()
+    current = csr.diagonal().to_numpy()
+    delta = diags([np.asarray(values) - current], [0], shape=A.shape).tocsr()
+    return csr + delta
+
+
+def spdiags(data, diags_offsets, m: int, n: int, format=None):
+    """``scipy.sparse.spdiags``: DIA construction, SciPy conventions."""
+    from repro.core.dia import dia_matrix
+
+    out = dia_matrix((np.atleast_2d(data), diags_offsets), shape=(m, n))
+    return out if format in (None, "dia") else out.asformat(format)
+
+
+def block_diag(mats, format=None):
+    """Block-diagonal stacking of sparse matrices."""
+    from repro.core.coo import coo_matrix
+
+    rows, cols, vals = [], [], []
+    r_off = c_off = 0
+    for mat in mats:
+        coo = mat.tocoo()
+        rows.append(coo.row + r_off)
+        cols.append(coo.col + c_off)
+        vals.append(coo.data.to_numpy())
+        r_off += mat.shape[0]
+        c_off += mat.shape[1]
+    out = coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(r_off, c_off),
+    )
+    return out if format in (None, "coo") else out.asformat(format)

@@ -1,0 +1,73 @@
+"""Sparse matrix persistence: ``save_npz`` / ``load_npz`` ports.
+
+The on-disk format matches SciPy's ``.npz`` layout for CSR/CSC/COO/DIA,
+so files interchange with stock SciPy in both directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def save_npz(file, matrix, compressed: bool = True) -> None:
+    """Save a sparse matrix in SciPy's ``.npz`` layout."""
+    fmt = matrix.format
+    matrix.runtime.barrier()
+    fields = {"format": np.array(fmt.encode("ascii")), "shape": np.array(matrix.shape)}
+    if fmt in ("csr", "csc"):
+        fields["data"] = matrix.vals.data.copy()
+        fields["indices"] = matrix.crd.data.copy()
+        fields["indptr"] = matrix.indptr
+    elif fmt == "coo":
+        fields["data"] = matrix.vals.data.copy()
+        fields["row"] = matrix.row_store.data.copy()
+        fields["col"] = matrix.col_store.data.copy()
+    elif fmt == "dia":
+        # SciPy stores (ndiags, m); convert from our transposed layout.
+        import scipy.sparse as sps
+
+        coo = matrix.tocoo()
+        sp_mat = sps.coo_matrix(
+            (coo.data.to_numpy(), (coo.row, coo.col)), shape=matrix.shape
+        ).todia()
+        fields["data"] = sp_mat.data
+        fields["offsets"] = sp_mat.offsets
+    else:
+        raise NotImplementedError(f"save_npz does not support format {fmt!r}")
+    saver = np.savez_compressed if compressed else np.savez
+    saver(file, **fields)
+
+
+def load_npz(file):
+    """Load a matrix saved by :func:`save_npz` or SciPy's ``save_npz``."""
+    from repro.core.coo import coo_matrix
+    from repro.core.csc import csc_matrix
+    from repro.core.csr import csr_matrix
+    from repro.core.dia import dia_matrix
+
+    with np.load(file, allow_pickle=False) as payload:
+        fmt = payload["format"].item()
+        if isinstance(fmt, bytes):
+            fmt = fmt.decode("ascii")
+        shape = tuple(int(s) for s in payload["shape"])
+        if fmt == "csr":
+            return csr_matrix(
+                (payload["data"], payload["indices"], payload["indptr"]),
+                shape=shape,
+            )
+        if fmt == "csc":
+            import scipy.sparse as sps
+
+            return csc_matrix(
+                sps.csc_matrix(
+                    (payload["data"], payload["indices"], payload["indptr"]),
+                    shape=shape,
+                )
+            )
+        if fmt == "coo":
+            return coo_matrix(
+                (payload["data"], (payload["row"], payload["col"])), shape=shape
+            )
+        if fmt == "dia":
+            return dia_matrix((payload["data"], payload["offsets"]), shape=shape)
+    raise NotImplementedError(f"load_npz does not support format {fmt!r}")

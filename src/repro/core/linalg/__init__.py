@@ -1,0 +1,37 @@
+"""``repro.core.linalg``: sparse linear algebra (``scipy.sparse.linalg``).
+
+The iterative solvers are direct ports of their SciPy implementations
+onto the distributed arrays — the §5.2 porting story: solver code is
+ordinary NumPy-style Python; every dot/axpy/matvec inside becomes a
+distributed task, and convergence checks synchronize on allreduce
+futures (which is what puts communication latency on the CG critical
+path in the paper's Fig. 9).
+"""
+
+from repro.core.linalg.interface import LinearOperator, aslinearoperator
+from repro.core.linalg.iterative import bicg, bicgstab, cg, cgs, gmres
+from repro.core.linalg.eigen import eigsh, lobpcg_max, power_iteration
+from repro.core.linalg.lsqr import lsqr
+from repro.core.linalg.matfuncs import expm_multiply
+from repro.core.linalg.triangular import spsolve_triangular
+from repro.core.linalg.norms import norm, onenormest
+from repro.core.linalg import preconditioners
+
+__all__ = [
+    "LinearOperator",
+    "aslinearoperator",
+    "bicg",
+    "bicgstab",
+    "cg",
+    "cgs",
+    "eigsh",
+    "expm_multiply",
+    "gmres",
+    "lobpcg_max",
+    "lsqr",
+    "norm",
+    "onenormest",
+    "power_iteration",
+    "preconditioners",
+    "spsolve_triangular",
+]

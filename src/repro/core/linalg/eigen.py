@@ -1,0 +1,107 @@
+"""Eigensolvers: power iteration and a Lanczos ``eigsh``.
+
+Ported solver structure (§5.2): distributed matvecs and dots; the small
+tridiagonal eigenproblem is solved on the host.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+import repro.numeric as rnp
+from repro.numeric.array import Scalar, ndarray
+
+
+def power_iteration(
+    A, iters: int = 50, x0: Optional[ndarray] = None, seed: int = 0
+) -> Tuple[Scalar, ndarray]:
+    """Largest-magnitude eigenvalue via the Rayleigh quotient (Fig. 1)."""
+    n = A.shape[0]
+    if x0 is None:
+        rnp.random.seed(seed)
+        x = rnp.random.rand(n)
+    else:
+        x = x0.copy()
+    for _ in range(iters):
+        x = A @ x
+        x /= rnp.linalg.norm(x)
+    eig = rnp.vdot(x, A @ x)
+    return eig, x
+
+
+def eigsh(
+    A,
+    k: int = 1,
+    which: str = "LA",
+    maxiter: Optional[int] = None,
+    v0: Optional[ndarray] = None,
+    return_eigenvectors: bool = False,
+    seed: int = 0,
+):
+    """Lanczos for a few extremal eigenvalues of a symmetric matrix.
+
+    Supports ``which`` in {"LA", "SA", "LM"}.  Uses full
+    reorthogonalization (the basis is a list of distributed vectors), so
+    ``maxiter`` should stay modest — which is also SciPy's regime for
+    well-separated extremal spectra.
+    """
+    n = A.shape[0]
+    if k < 1 or k >= n:
+        raise ValueError("k must satisfy 1 <= k < n")
+    m = maxiter if maxiter is not None else min(n, max(4 * k, 40))
+    m = min(m, n)
+    if v0 is None:
+        rnp.random.seed(seed)
+        v = rnp.random.rand(n)
+    else:
+        v = v0.copy()
+    v /= rnp.linalg.norm(v)
+    basis = [v]
+    alphas, betas = [], []
+    for j in range(m):
+        w = A @ basis[j]
+        alpha = float(rnp.vdot(basis[j], w))
+        alphas.append(alpha)
+        w -= basis[j] * alpha
+        if j > 0:
+            w -= basis[j - 1] * betas[-1]
+        # Full reorthogonalization for numerical robustness.
+        for q in basis:
+            w -= q * rnp.vdot(q, w)
+        beta = float(rnp.linalg.norm(w))
+        if beta < 1e-12:
+            break
+        betas.append(beta)
+        basis.append(w / beta)
+    T = np.diag(alphas)
+    if betas:
+        off = np.array(betas[: len(alphas) - 1])
+        T += np.diag(off, 1) + np.diag(off, -1)
+    evals, evecs = np.linalg.eigh(T)
+    if which == "LA":
+        order = np.argsort(evals)[::-1]
+    elif which == "SA":
+        order = np.argsort(evals)
+    elif which == "LM":
+        order = np.argsort(np.abs(evals))[::-1]
+    else:
+        raise ValueError(f"unsupported which={which!r}")
+    chosen = order[:k]
+    values = evals[chosen]
+    if not return_eigenvectors:
+        return np.sort(values)
+    vectors = []
+    for idx in chosen:
+        vec = rnp.zeros(n)
+        for coeff, q in zip(evecs[:, idx], basis):
+            vec += q * float(coeff)
+        vectors.append(vec)
+    return np.sort(values), vectors
+
+
+def lobpcg_max(A, iters: int = 30, seed: int = 0) -> float:
+    """A cheap largest-eigenvalue estimate (power iteration wrapper)."""
+    eig, _ = power_iteration(A, iters=iters, seed=seed)
+    return float(rnp.real(eig) if isinstance(eig, ndarray) else eig)

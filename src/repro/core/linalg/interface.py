@@ -1,0 +1,72 @@
+"""A minimal LinearOperator, for preconditioners and matrix-free solves."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.numeric.array import ndarray
+
+
+class LinearOperator:
+    """An operator defined by its action on vectors."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        matvec: Callable[[ndarray], ndarray],
+        rmatvec: Optional[Callable[[ndarray], ndarray]] = None,
+        dtype=np.float64,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._matvec = matvec
+        self._rmatvec = rmatvec
+        self.dtype = np.dtype(dtype)
+
+    def matvec(self, x: ndarray) -> ndarray:
+        """Apply the operator to a vector."""
+        return self._matvec(x)
+
+    def rmatvec(self, x: ndarray) -> ndarray:
+        """Apply the adjoint/transpose to a vector."""
+        if self._rmatvec is None:
+            raise NotImplementedError("rmatvec is not defined for this operator")
+        return self._rmatvec(x)
+
+    def __matmul__(self, x):
+        if isinstance(x, ndarray):
+            return self.matvec(x)
+        return NotImplemented
+
+    @property
+    def T(self) -> "LinearOperator":
+        """The transposed operator (needs rmatvec)."""
+        if self._rmatvec is None:
+            raise NotImplementedError("rmatvec is not defined for this operator")
+        return LinearOperator(
+            (self.shape[1], self.shape[0]),
+            self._rmatvec,
+            self._matvec,
+            dtype=self.dtype,
+        )
+
+
+def aslinearoperator(A) -> LinearOperator:
+    """Wrap a sparse matrix, LinearOperator or callable uniformly."""
+    from repro.core.base import issparse
+
+    if isinstance(A, LinearOperator):
+        return A
+    if issparse(A):
+        return LinearOperator(
+            A.shape,
+            matvec=A._matvec,
+            rmatvec=A._rmatvec,
+            dtype=A.dtype,
+        )
+    if callable(A):
+        raise TypeError(
+            "a bare callable has no shape; construct a LinearOperator instead"
+        )
+    raise TypeError(f"cannot interpret {type(A).__name__} as a linear operator")

@@ -1,0 +1,24 @@
+"""Sparse matrix norms (``scipy.sparse.linalg.norm``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.numeric as rnp
+from repro.numeric.array import Scalar
+
+
+def norm(A, ord=None) -> Scalar:
+    """Frobenius (default), infinity (max abs row sum), or 1-norm."""
+    if ord in (None, "fro"):
+        return rnp.linalg.norm(A.tocsr().data)
+    if ord == np.inf:
+        return rnp.amax(abs(A.tocsr()).sum(axis=1))
+    if ord == 1:
+        return rnp.amax(abs(A.tocsr()).sum(axis=0))
+    raise NotImplementedError(f"norm ord={ord!r} is not implemented")
+
+
+def onenormest(A) -> Scalar:
+    """Exact 1-norm (SciPy estimates it; ours is cheap to compute)."""
+    return norm(A, ord=1)

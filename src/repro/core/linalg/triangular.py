@@ -1,0 +1,76 @@
+"""Triangular solve: the §5.4 "external library" category, implemented.
+
+SciPy's ``spsolve_triangular`` calls compiled substitution code; the
+sequential dependence chain makes a scalable distributed version a
+research problem of its own, so — matching how the paper's prototype
+treats solver factorizations — the substitution runs as a single
+*gathered* task (all operands replicated to one processor) with the
+corresponding cost; the paper's "path forward" for these functions is
+recorded in ``repro.core.coverage``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.numeric as rnp
+from repro.constraints import AutoTask
+from repro.numeric.array import ndarray
+
+
+def spsolve_triangular(A, b: ndarray, lower: bool = True, unit_diagonal: bool = False) -> ndarray:
+    """Solve ``A x = b`` for triangular sparse ``A``."""
+    csr = A.tocsr()
+    n, m = csr.shape
+    if n != m:
+        raise ValueError("triangular solve requires a square matrix")
+    if b.shape[0] != n:
+        raise ValueError(f"b has length {b.shape[0]}, expected {n}")
+    rt = csr.runtime
+    out_dtype = np.result_type(csr.dtype, b.dtype)
+    x = rnp.empty(n, dtype=out_dtype)
+
+    def kernel(ctx):
+        pos = ctx.arrays["pos"]
+        crd = ctx.arrays["crd"]
+        vals = ctx.arrays["vals"]
+        rhs = ctx.arrays["b"]
+        sol = ctx.arrays["x"]
+        order = range(n) if lower else range(n - 1, -1, -1)
+        for i in order:
+            lo, hi = pos[i]
+            cols = crd[lo:hi]
+            row_vals = vals[lo:hi]
+            acc = rhs[i]
+            diag = None
+            for col, val in zip(cols, row_vals):
+                if col == i:
+                    diag = val
+                elif (lower and col < i) or (not lower and col > i):
+                    acc = acc - val * sol[col]
+            if unit_diagonal:
+                sol[i] = acc
+            else:
+                if diag is None or diag == 0:
+                    raise np.linalg.LinAlgError(
+                        f"singular triangular matrix: zero diagonal at row {i}"
+                    )
+                sol[i] = acc / diag
+
+    def cost(ctx):
+        nnz = ctx.rects["crd"].volume()
+        isz = out_dtype.itemsize
+        # Sequential substitution: every nnz is touched once, with a
+        # dependent-chain latency term proportional to n.
+        return 2.0 * nnz + n, nnz * (8.0 + isz) + 3.0 * n * isz
+
+    task = AutoTask(rt, "spsolve_triangular", kernel, cost, colors=1)
+    task.add_output("x", x.store)
+    task.add_input("pos", csr.pos)
+    task.add_input("crd", csr.crd)
+    task.add_input("vals", csr.vals)
+    task.add_input("b", b.store)
+    for store in (x.store, csr.pos, csr.crd, csr.vals, b.store):
+        task.add_broadcast(store)
+    task.execute()
+    return x

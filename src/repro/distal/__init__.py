@@ -1,0 +1,35 @@
+"""A miniature DISTAL: tensor-algebra kernel generation (paper §5.1).
+
+DISTAL compiles a tensor-algebra DSL plus a format and schedule
+specification into Legion tasks.  This package reproduces that pipeline
+at the scale the paper uses it: a small IR for tensor-algebra statements
+(:mod:`repro.distal.ir`), per-mode format annotations
+(:mod:`repro.distal.formats`), a scheduling language mirroring the
+paper's Fig. 6 (:mod:`repro.distal.schedule`), and a code generator
+(:mod:`repro.distal.codegen`) that emits *source text* for vectorized
+NumPy shard kernels together with roofline cost functions, specialized
+per sparse format and per processor kind.  Generated kernels are
+compiled with ``exec`` and cached in a registry
+(:mod:`repro.distal.registry`), from which the sparse library dispatches
+— the static/dynamic split the paper's design centers on.
+"""
+
+from repro.distal.formats import Compressed, Dense, Format, Mode
+from repro.distal.ir import Access, Assignment, IndexVar, Tensor
+from repro.distal.schedule import Schedule
+from repro.distal.registry import GeneratedKernel, KernelRegistry, get_registry
+
+__all__ = [
+    "Access",
+    "Assignment",
+    "Compressed",
+    "Dense",
+    "Format",
+    "GeneratedKernel",
+    "IndexVar",
+    "KernelRegistry",
+    "Mode",
+    "Schedule",
+    "Tensor",
+    "get_registry",
+]

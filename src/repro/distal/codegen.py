@@ -1,0 +1,572 @@
+"""Code generation: tensor-algebra statements to NumPy shard kernels.
+
+For each supported (statement, format) pair the generator emits Python
+*source text* implementing the shard kernel — vectorized NumPy operating
+on global arrays with shard bounds, exactly the shape of the
+DISTAL-generated C++ task in the paper's Fig. 7 — plus a cost function
+for the roofline timing model and the constraint set the launcher must
+declare (the paper's Fig. 4).  Source is compiled with ``exec`` and kept
+on the generated-kernel object for inspection and testing.
+
+Cost functions consult the runtime configuration for the effects the
+paper discusses: the local-reshape penalty Legate pays before calling
+cuSPARSE/MKL on its global-format pieces (§3), and the inefficiency of
+the baseline's SDDMM kernel relative to DISTAL's (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distal.formats import Format
+from repro.distal.ir import Assignment
+from repro.distal.schedule import Schedule
+from repro.machine import ProcessorKind
+
+
+@dataclass
+class KernelSpec:
+    """Everything a launcher needs to run a generated kernel."""
+
+    name: str
+    kernel: Callable
+    cost: Callable
+    source: str
+    # (argument name, role) where role in {in, out, inout, reduce}
+    args: List[Tuple[str, str]]
+    # Declarative constraint set, e.g. ("align", "y", "pos") or
+    # ("image_range", "pos", ("crd", "vals")).
+    constraints: List[tuple]
+    scalar_names: List[str] = field(default_factory=list)
+
+
+class UnsupportedStatement(NotImplementedError):
+    """No template exists for (statement, format)."""
+    pass
+
+
+_PROLOGUE = "import numpy as np\n\n"
+
+
+def _compile(name: str, source: str) -> Dict[str, Callable]:
+    namespace: Dict[str, object] = {}
+    exec(compile(_PROLOGUE + source, f"<distal:{name}>", "exec"), namespace)
+    return namespace  # type: ignore[return-value]
+
+
+def _flop_factor() -> str:
+    """Complex arithmetic costs ~4x real (expression used inside costs)."""
+    return "(4.0 if np.iscomplexobj(vals) else 1.0)"
+
+
+# ----------------------------------------------------------------------
+# Templates.  Each returns (kernel_source, args, constraints).
+# ----------------------------------------------------------------------
+
+
+def _template_csr_spmv(kind: ProcessorKind) -> Tuple[str, list, list]:
+    reshape = "rows * 8.0 if ctx.config.local_reshape_penalty else 0.0"
+    source = f'''
+def kernel(ctx):
+    """y(i) = A(i,j) * x(j) with A in CSR; row-split (paper Fig. 7)."""
+    pos = ctx.arrays["pos"]; crd = ctx.arrays["crd"]
+    vals = ctx.arrays["vals"]; x = ctx.arrays["x"]; y = ctx.arrays["y"]
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        y[rlo:rhi] = 0
+        return
+    contrib = vals[jlo:jhi] * x[crd[jlo:jhi]]
+    csum = np.empty(contrib.shape[0] + 1, dtype=contrib.dtype)
+    csum[0] = 0
+    np.cumsum(contrib, out=csum[1:])
+    y[rlo:rhi] = csum[hi - jlo] - csum[lo - jlo]
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["crd"].volume()
+    rows = ctx.rects["pos"].volume() // 2
+    isz = vals.dtype.itemsize
+    flops = 2.0 * nnz * {_flop_factor()}
+    nbytes = nnz * (8.0 + isz + isz) + rows * (16.0 + isz)
+    nbytes += {reshape}
+    return flops, nbytes
+'''
+    args = [("y", "out"), ("pos", "in"), ("crd", "in"), ("vals", "in"), ("x", "in")]
+    constraints = [
+        ("align", "y", "pos"),
+        ("image_range", "pos", ("crd", "vals")),
+        ("image_coord", "crd", ("x",)),
+    ]
+    return source, args, constraints
+
+
+def _template_csr_spmv_transpose(kind: ProcessorKind) -> Tuple[str, list, list]:
+    reshape = "rows * 8.0 if ctx.config.local_reshape_penalty else 0.0"
+    source = f'''
+def kernel(ctx):
+    """y(j) = A(i,j) * x(i) with A in CSR; row-split scatter-add.
+
+    Also serves CSC SpMV (column-compressed A with x/y roles flipped).
+    The caller must zero y before the launch (REDUCE privilege).
+    """
+    pos = ctx.arrays["pos"]; crd = ctx.arrays["crd"]
+    vals = ctx.arrays["vals"]; x = ctx.arrays["x"]; y = ctx.arrays["y"]
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        return
+    contrib = vals[jlo:jhi] * np.repeat(x[rlo:rhi], hi - lo)
+    np.add.at(y, crd[jlo:jhi], contrib)
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["crd"].volume()
+    rows = ctx.rects["pos"].volume() // 2
+    isz = vals.dtype.itemsize
+    flops = 2.0 * nnz * {_flop_factor()}
+    # Scatter writes are read-modify-write on y.
+    nbytes = nnz * (8.0 + isz + 2.0 * isz) + rows * (16.0 + isz)
+    nbytes += {reshape}
+    return flops, nbytes
+'''
+    args = [("y", "reduce"), ("pos", "in"), ("crd", "in"), ("vals", "in"), ("x", "in")]
+    constraints = [
+        ("align", "x", "pos"),
+        ("image_range", "pos", ("crd", "vals")),
+        ("image_coord", "crd", ("y",)),
+    ]
+    return source, args, constraints
+
+
+def _template_csr_spmm(kind: ProcessorKind) -> Tuple[str, list, list]:
+    reshape = "rows * 8.0 if ctx.config.local_reshape_penalty else 0.0"
+    source = f'''
+def kernel(ctx):
+    """Y(i,k) = A(i,j) * X(j,k) with A in CSR; row-split."""
+    pos = ctx.arrays["pos"]; crd = ctx.arrays["crd"]
+    vals = ctx.arrays["vals"]; X = ctx.arrays["X"]; Y = ctx.arrays["Y"]
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        Y[rlo:rhi, :] = 0
+        return
+    contrib = vals[jlo:jhi, None] * X[crd[jlo:jhi], :]
+    csum = np.empty((contrib.shape[0] + 1, contrib.shape[1]), dtype=contrib.dtype)
+    csum[0] = 0
+    np.cumsum(contrib, axis=0, out=csum[1:])
+    Y[rlo:rhi, :] = csum[hi - jlo] - csum[lo - jlo]
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["crd"].volume()
+    rows = ctx.rects["pos"].volume() // 2
+    k = ctx.arrays["X"].shape[1]
+    isz = vals.dtype.itemsize
+    flops = 2.0 * nnz * k * {_flop_factor()}
+    nbytes = nnz * (8.0 + isz) + nnz * k * isz + rows * (16.0 + k * isz)
+    nbytes += {reshape}
+    return flops, nbytes
+'''
+    args = [("Y", "out"), ("pos", "in"), ("crd", "in"), ("vals", "in"), ("X", "in")]
+    constraints = [
+        ("align", "Y", "pos"),
+        ("image_range", "pos", ("crd", "vals")),
+        ("image_coord", "crd", ("X",)),
+    ]
+    return source, args, constraints
+
+
+def _template_csr_spmm_transpose(kind: ProcessorKind) -> Tuple[str, list, list]:
+    source = f'''
+def kernel(ctx):
+    """Y(j,k) = A(i,j) * X(i,k) with A in CSR; row-split scatter-add.
+
+    The caller must zero Y before the launch (REDUCE privilege).
+    """
+    pos = ctx.arrays["pos"]; crd = ctx.arrays["crd"]
+    vals = ctx.arrays["vals"]; X = ctx.arrays["X"]; Y = ctx.arrays["Y"]
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        return
+    rows = np.repeat(np.arange(rlo, rhi), hi - lo)
+    contrib = vals[jlo:jhi, None] * X[rows, :]
+    np.add.at(Y, crd[jlo:jhi], contrib)
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["crd"].volume()
+    rows = ctx.rects["pos"].volume() // 2
+    k = ctx.arrays["X"].shape[1]
+    isz = vals.dtype.itemsize
+    flops = 2.0 * nnz * k * {_flop_factor()}
+    nbytes = nnz * (8.0 + isz) + 3.0 * nnz * k * isz + rows * 16.0
+    return flops, nbytes
+'''
+    args = [("Y", "reduce"), ("pos", "in"), ("crd", "in"), ("vals", "in"), ("X", "in")]
+    constraints = [
+        ("align", "X", "pos"),
+        ("image_range", "pos", ("crd", "vals")),
+        ("image_coord", "crd", ("Y",)),
+    ]
+    return source, args, constraints
+
+
+def _template_csr_sddmm(kind: ProcessorKind) -> Tuple[str, list, list]:
+    source = f'''
+def kernel(ctx):
+    """R(i,j) = B(i,j) * C(i,k) * D(j,k): sampled dense-dense matmul.
+
+    B is CSR; R shares B's structure, so only R's values are produced.
+    D is passed pre-transposed as a (cols, k) matrix.
+    """
+    pos = ctx.arrays["pos"]; crd = ctx.arrays["crd"]
+    vals = ctx.arrays["vals"]; C = ctx.arrays["C"]; D = ctx.arrays["D"]
+    out = ctx.arrays["out_vals"]
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        return
+    rows = np.repeat(np.arange(rlo, rhi), hi - lo)
+    cols = crd[jlo:jhi]
+    out[jlo:jhi] = vals[jlo:jhi] * np.einsum(
+        "nk,nk->n", C[rows, :], D[cols, :]
+    )
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["crd"].volume()
+    rows = ctx.rects["pos"].volume() // 2
+    k = ctx.arrays["C"].shape[1]
+    isz = vals.dtype.itemsize
+    ineff = ctx.config.sddmm_inefficiency
+    flops = 2.0 * nnz * k * {_flop_factor()} * ineff
+    nbytes = (nnz * (8.0 + 2.0 * isz) + 2.0 * nnz * k * isz + rows * 16.0) * ineff
+    return flops, nbytes
+'''
+    args = [
+        ("out_vals", "out"),
+        ("pos", "in"),
+        ("crd", "in"),
+        ("vals", "in"),
+        ("C", "in"),
+        ("D", "in"),
+    ]
+    constraints = [
+        ("align", "C", "pos"),
+        ("image_range", "pos", ("crd", "vals", "out_vals")),
+        ("image_coord", "crd", ("D",)),
+    ]
+    return source, args, constraints
+
+
+def _template_csr_row_sums(kind: ProcessorKind) -> Tuple[str, list, list]:
+    source = f'''
+def kernel(ctx):
+    """y(i) = A(i,j) with A in CSR: row sums."""
+    pos = ctx.arrays["pos"]; vals = ctx.arrays["vals"]; y = ctx.arrays["y"]
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        y[rlo:rhi] = 0
+        return
+    csum = np.empty(jhi - jlo + 1, dtype=vals.dtype)
+    csum[0] = 0
+    np.cumsum(vals[jlo:jhi], out=csum[1:])
+    y[rlo:rhi] = csum[hi - jlo] - csum[lo - jlo]
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["vals"].volume()
+    rows = ctx.rects["pos"].volume() // 2
+    isz = vals.dtype.itemsize
+    return nnz * {_flop_factor()}, nnz * isz + rows * (16.0 + isz)
+'''
+    args = [("y", "out"), ("pos", "in"), ("vals", "in")]
+    constraints = [
+        ("align", "y", "pos"),
+        ("image_range", "pos", ("vals",)),
+    ]
+    return source, args, constraints
+
+
+def _template_csr_col_sums(kind: ProcessorKind) -> Tuple[str, list, list]:
+    source = f'''
+def kernel(ctx):
+    """y(j) = A(i,j) with A in CSR: column sums (scatter-add).
+
+    The caller must zero y before the launch (REDUCE privilege).
+    """
+    pos = ctx.arrays["pos"]; crd = ctx.arrays["crd"]
+    vals = ctx.arrays["vals"]; y = ctx.arrays["y"]
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        return
+    np.add.at(y, crd[jlo:jhi], vals[jlo:jhi])
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["crd"].volume()
+    isz = vals.dtype.itemsize
+    return nnz * {_flop_factor()}, nnz * (8.0 + 3.0 * isz)
+'''
+    args = [("y", "reduce"), ("pos", "in"), ("crd", "in"), ("vals", "in")]
+    constraints = [
+        ("image_range", "pos", ("crd", "vals")),
+        ("image_coord", "crd", ("y",)),
+    ]
+    return source, args, constraints
+
+
+def _template_csr_diagonal(kind: ProcessorKind) -> Tuple[str, list, list]:
+    source = f'''
+def kernel(ctx):
+    """y(i) = A(i,i) with A in CSR: diagonal extraction."""
+    pos = ctx.arrays["pos"]; crd = ctx.arrays["crd"]
+    vals = ctx.arrays["vals"]; y = ctx.arrays["y"]
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    y[rlo:rhi] = 0
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        return
+    rows = np.repeat(np.arange(rlo, rhi), hi - lo)
+    cols = crd[jlo:jhi]
+    hits = cols == rows
+    y[rows[hits]] = vals[jlo:jhi][hits]
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["crd"].volume()
+    rows = ctx.rects["pos"].volume() // 2
+    isz = vals.dtype.itemsize
+    return float(nnz), nnz * (8.0 + isz) + rows * (16.0 + isz)
+'''
+    args = [("y", "out"), ("pos", "in"), ("crd", "in"), ("vals", "in")]
+    constraints = [
+        ("align", "y", "pos"),
+        ("image_range", "pos", ("crd", "vals")),
+    ]
+    return source, args, constraints
+
+
+def _template_dia_spmv(kind: ProcessorKind) -> Tuple[str, list, list]:
+    source = f'''
+def kernel(ctx):
+    """y(i) = A(i,j) * x(j) with A in DIA (data stored (n, ndiags))."""
+    data = ctx.arrays["data"]; offsets = ctx.arrays["offsets"]
+    x = ctx.arrays["x"]; y = ctx.arrays["y"]
+    yr = ctx.rects["y"]
+    rlo, rhi = yr.lo[0], yr.hi[0]
+    if rhi <= rlo:
+        return
+    m = x.shape[0]
+    y[rlo:rhi] = 0
+    for d in range(offsets.shape[0]):
+        off = int(offsets[d])
+        ilo = max(rlo, -off)
+        ihi = min(rhi, m - off)
+        if ihi <= ilo:
+            continue
+        y[ilo:ihi] += data[ilo:ihi, d] * x[ilo + off : ihi + off]
+
+
+def cost(ctx):
+    vals = ctx.arrays["data"]
+    ndiags = ctx.arrays["offsets"].shape[0]
+    rows = ctx.rects["y"].volume()
+    isz = vals.dtype.itemsize
+    flops = 2.0 * rows * ndiags * {_flop_factor().replace("vals", "ctx.arrays['data']")}
+    nbytes = rows * ndiags * 2.0 * isz + rows * 2.0 * isz
+    return flops, nbytes
+'''
+    args = [("y", "out"), ("data", "in"), ("offsets", "in"), ("x", "in")]
+    constraints = [
+        ("align", "y", "data"),
+        ("broadcast", "offsets"),
+        ("explicit", "x"),  # launcher supplies a shifted-tile partition
+    ]
+    return source, args, constraints
+
+
+def _template_coo_spmv(kind: ProcessorKind) -> Tuple[str, list, list]:
+    source = f'''
+def kernel(ctx):
+    """y(i) = A(i,j) * x(j) with A in COO; nnz-split scatter-add.
+
+    The caller must zero y before the launch (REDUCE privilege).
+    """
+    row = ctx.arrays["row"]; col = ctx.arrays["col"]
+    vals = ctx.arrays["vals"]; x = ctx.arrays["x"]; y = ctx.arrays["y"]
+    kr = ctx.rects["vals"]
+    klo, khi = kr.lo[0], kr.hi[0]
+    if khi <= klo:
+        return
+    np.add.at(y, row[klo:khi], vals[klo:khi] * x[col[klo:khi]])
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    nnz = ctx.rects["vals"].volume()
+    isz = vals.dtype.itemsize
+    flops = 2.0 * nnz * {_flop_factor()}
+    return flops, nnz * (16.0 + 4.0 * isz)
+'''
+    args = [("y", "reduce"), ("row", "in"), ("col", "in"), ("vals", "in"), ("x", "in")]
+    constraints = [
+        ("align", "row", "col"),
+        ("align", "row", "vals"),
+        ("image_coord", "row", ("y",)),
+        ("image_coord", "col", ("x",)),
+    ]
+    return source, args, constraints
+
+
+def _template_bsr_spmv(kind: ProcessorKind) -> Tuple[str, list, list]:
+    source = f'''
+def kernel(ctx):
+    """y(i) = A(i,j) * x(j) with A in BSR (block size R x C).
+
+    vals is an (nblocks, R*C) region; pos compresses *block* rows and
+    crd holds *block* column indices.  The paper plans BSR as the next
+    DISTAL-generated format (§5.4).
+    """
+    pos = ctx.arrays["pos"]; crd = ctx.arrays["crd"]
+    vals = ctx.arrays["vals"]; x = ctx.arrays["x"]; y = ctx.arrays["y"]
+    R = ctx.scalar("R"); C = ctx.scalar("C")
+    pr = ctx.rects["pos"]
+    rlo, rhi = pr.lo[0], pr.hi[0]
+    if rhi <= rlo:
+        return
+    lo = pos[rlo:rhi, 0]
+    hi = pos[rlo:rhi, 1]
+    jlo = int(lo[0]); jhi = int(hi[-1])
+    if jhi <= jlo:
+        y[rlo * R : rhi * R] = 0
+        return
+    blocks = vals[jlo:jhi].reshape(-1, R, C)
+    xblk = x.reshape(-1, C)[crd[jlo:jhi]]
+    contrib = np.einsum("bij,bj->bi", blocks, xblk)
+    csum = np.empty((contrib.shape[0] + 1, R), dtype=contrib.dtype)
+    csum[0] = 0
+    np.cumsum(contrib, axis=0, out=csum[1:])
+    y[rlo * R : rhi * R] = (csum[hi - jlo] - csum[lo - jlo]).reshape(-1)
+
+
+def cost(ctx):
+    vals = ctx.arrays["vals"]
+    R = ctx.scalar("R"); C = ctx.scalar("C")
+    nblocks = ctx.rects["crd"].volume()
+    brows = ctx.rects["pos"].volume() // 2
+    isz = vals.dtype.itemsize
+    flops = 2.0 * nblocks * R * C * {_flop_factor()}
+    nbytes = nblocks * (8.0 + R * C * isz + C * isz) + brows * (16.0 + R * isz)
+    return flops, nbytes
+'''
+    args = [("y", "out"), ("pos", "in"), ("crd", "in"), ("vals", "in"), ("x", "in")]
+    constraints = [
+        ("image_range", "pos", ("crd", "vals")),
+        ("explicit", "y"),  # block-row tiles of pos, scaled by R
+        ("explicit", "x"),  # block-column image of crd, scaled by C
+    ]
+    return source, args, constraints
+
+
+_TEMPLATES: Dict[Tuple[str, str], Callable] = {
+    ("y(i)=A(i,j)*x(j)", "csr"): _template_csr_spmv,
+    ("y(j)=A(i,j)*x(i)", "csr"): _template_csr_spmv_transpose,
+    ("Y(i,k)=A(i,j)*X(j,k)", "csr"): _template_csr_spmm,
+    ("Y(j,k)=A(i,j)*X(i,k)", "csr"): _template_csr_spmm_transpose,
+    ("R(i,j)=B(i,j)*C(i,k)*D(j,k)", "csr"): _template_csr_sddmm,
+    ("y(i)=A(i,j)", "csr"): _template_csr_row_sums,
+    ("y(j)=A(i,j)", "csr"): _template_csr_col_sums,
+    ("y(i)=A(i,i)", "csr"): _template_csr_diagonal,
+    ("y(i)=A(i,j)*x(j)", "dia"): _template_dia_spmv,
+    ("y(i)=A(i,j)*x(j)", "coo"): _template_coo_spmv,
+    ("y(i)=A(i,j)*x(j)", "bsr"): _template_bsr_spmv,
+}
+
+
+def supported_statements() -> List[Tuple[str, str]]:
+    """All (statement key, format name) template pairs."""
+    return sorted(_TEMPLATES.keys())
+
+
+def generate(
+    statement: Assignment,
+    fmt: Format,
+    schedule: Optional[Schedule] = None,
+    proc_kind: ProcessorKind = ProcessorKind.CPU_SOCKET,
+) -> KernelSpec:
+    """Compile a statement for a format and processor kind."""
+    key = statement.key()
+    template = _TEMPLATES.get((key, fmt.name))
+    if template is None:
+        raise UnsupportedStatement(
+            f"no template for statement {key!r} with format {fmt.name!r}"
+        )
+    source, args, constraints = template(proc_kind)
+    source = textwrap.dedent(source).strip() + "\n"
+    name = f"{fmt.name}:{key}:{proc_kind.value}"
+    namespace = _compile(name, source)
+    return KernelSpec(
+        name=name,
+        kernel=namespace["kernel"],
+        cost=namespace["cost"],
+        source=source,
+        args=args,
+        constraints=constraints,
+    )

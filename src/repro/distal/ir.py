@@ -1,0 +1,125 @@
+"""Tensor-algebra IR: index variables, accesses, products, assignments.
+
+Statements are written the way the paper's Fig. 6 writes them::
+
+    i, j = IndexVar("i"), IndexVar("j")
+    y, A, x = Tensor("y", 1), Tensor("A", 2), Tensor("x", 1)
+    stmt = (y[i] << A[i, j] * x[j])
+
+``Assignment.key()`` produces the canonical string (``"y(i)=A(i,j)*x(j)"``)
+the code generator dispatches on.  Index variables appearing only on the
+right-hand side are reduction variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+
+@dataclass(frozen=True)
+class IndexVar:
+    """A named index variable (i, j, k)."""
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Tensor:
+    """A tensor operand of known order."""
+
+    def __init__(self, name: str, order: int):
+        self.name = name
+        self.order = order
+
+    def __getitem__(self, indices) -> "Access":
+        if isinstance(indices, IndexVar):
+            indices = (indices,)
+        if len(indices) != self.order:
+            raise ValueError(
+                f"tensor {self.name} has order {self.order}, "
+                f"got {len(indices)} indices"
+            )
+        return Access(self, tuple(indices))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor({self.name}, order={self.order})"
+
+
+@dataclass(frozen=True)
+class Access:
+    """A tensor access like A(i, j)."""
+    tensor: Tensor
+    indices: Tuple[IndexVar, ...]
+
+    def __mul__(self, other: Union["Access", "Product"]) -> "Product":
+        if isinstance(other, Access):
+            return Product((self, other))
+        if isinstance(other, Product):
+            return Product((self,) + other.factors)
+        return NotImplemented
+
+    def __lshift__(self, rhs) -> "Assignment":
+        return Assignment(self, _as_product(rhs))
+
+    def __str__(self) -> str:
+        idx = ",".join(str(i) for i in self.indices)
+        return f"{self.tensor.name}({idx})"
+
+
+@dataclass(frozen=True)
+class Product:
+    """A product of accesses."""
+    factors: Tuple[Access, ...]
+
+    def __mul__(self, other) -> "Product":
+        if isinstance(other, Access):
+            return Product(self.factors + (other,))
+        if isinstance(other, Product):
+            return Product(self.factors + other.factors)
+        return NotImplemented
+
+    def __str__(self) -> str:
+        return "*".join(str(f) for f in self.factors)
+
+
+def _as_product(rhs) -> Product:
+    if isinstance(rhs, Access):
+        return Product((rhs,))
+    if isinstance(rhs, Product):
+        return rhs
+    raise TypeError(f"cannot assign from {type(rhs).__name__}")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A tensor-algebra statement lhs = product."""
+    lhs: Access
+    rhs: Product
+
+    def key(self) -> str:
+        """Canonical form used for code-generation dispatch."""
+        return f"{self.lhs}={self.rhs}"
+
+    @property
+    def reduction_vars(self) -> List[IndexVar]:
+        """Index variables appearing only on the RHS."""
+        lhs_vars = set(self.lhs.indices)
+        seen: List[IndexVar] = []
+        for access in self.rhs.factors:
+            for var in access.indices:
+                if var not in lhs_vars and var not in seen:
+                    seen.append(var)
+        return seen
+
+    @property
+    def index_vars(self) -> List[IndexVar]:
+        """All index variables, LHS first."""
+        seen: List[IndexVar] = list(self.lhs.indices)
+        for var in self.reduction_vars:
+            seen.append(var)
+        return seen
+
+    def __str__(self) -> str:
+        return self.key()

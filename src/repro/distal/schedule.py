@@ -1,0 +1,63 @@
+"""The scheduling language of the paper's Fig. 6.
+
+A schedule describes the distributed algorithm for a statement:
+``divide`` splits an index variable, ``distribute`` places the outer
+variable across processors, ``communicate`` declares which operands are
+exchanged at that level, and ``parallelize`` maps the inner variable to a
+processor's execution resources.  The reproduction's code generator uses
+the schedule to decide the partitioned (distributed) dimension and the
+target processor kind; the data-distribution input language of DISTAL is
+not used, matching the paper (§5.1: the constraint solver supplies the
+distributions at runtime, so only the first three input languages are
+exercised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.distal.ir import IndexVar, Tensor
+from repro.machine import ProcessorKind
+
+
+@dataclass
+class Schedule:
+    """The Fig. 6 scheduling chain (divide/distribute/…)."""
+    divided: Optional[Tuple[IndexVar, IndexVar, IndexVar]] = None
+    distributed: Optional[IndexVar] = None
+    communicated: List[Tensor] = field(default_factory=list)
+    parallel_kind: ProcessorKind = ProcessorKind.CPU_SOCKET
+
+    def divide(self, var: IndexVar, outer: IndexVar, inner: IndexVar) -> "Schedule":
+        """Split an index variable into outer and inner."""
+        self.divided = (var, outer, inner)
+        return self
+
+    def distribute(self, var: IndexVar) -> "Schedule":
+        """Place the outer variable across processors."""
+        if self.divided is None or var != self.divided[1]:
+            raise ValueError("distribute expects the divided outer variable")
+        self.distributed = var
+        return self
+
+    def communicate(self, var: IndexVar, tensors: List[Tensor]) -> "Schedule":
+        """Declare the operands exchanged at this level."""
+        if var != self.distributed:
+            raise ValueError("communicate applies to the distributed variable")
+        self.communicated = list(tensors)
+        return self
+
+    def parallelize(self, var: IndexVar, kind: ProcessorKind) -> "Schedule":
+        """Map the inner variable to processor resources."""
+        if self.divided is None or var != self.divided[2]:
+            raise ValueError("parallelize expects the divided inner variable")
+        self.parallel_kind = kind
+        return self
+
+    @property
+    def distributed_var_name(self) -> Optional[str]:
+        """Name of the distributed index variable."""
+        if self.divided is None:
+            return None
+        return self.divided[0].name

@@ -1,0 +1,27 @@
+"""The benchmark harness: regenerates every table and figure in §6.
+
+Each experiment module (``repro.harness.experiments.fig*``) builds the
+paper's workload, runs it on each compared system over the weak-scaling
+processor counts, and returns a :class:`~repro.harness.figures.FigureResult`
+whose rows print as the series of the corresponding figure.  Absolute
+numbers come from the machine model, not from Summit, so the harness also
+carries the paper's *shape* expectations (who wins, by what factor, where
+crossovers fall) as checkable assertions.
+"""
+
+from repro.harness.figures import FigureResult, Series
+from repro.harness.config import (
+    GPU_COLUMNS,
+    SOCKET_COLUMNS,
+    WEAK_SCALING_COLUMNS,
+    column_label,
+)
+
+__all__ = [
+    "FigureResult",
+    "GPU_COLUMNS",
+    "SOCKET_COLUMNS",
+    "Series",
+    "WEAK_SCALING_COLUMNS",
+    "column_label",
+]

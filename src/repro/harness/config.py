@@ -1,0 +1,50 @@
+"""Weak-scaling configuration shared by the figure experiments.
+
+The paper's x-axis pairs one Power9 socket with its three NVLink-attached
+V100s: ``1/1, 1/3, 2/6, 4/12, 8/24, 16/48, 32/96, 64/192`` (Figs. 8-10).
+The first column starts the GPU series at a single GPU to compare with
+CuPy.  Problem sizes are fixed *per processor*; single-device systems
+(SciPy, CuPy) run their single-processor size at every column, which is
+why their series are flat in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+# (sockets, gpus) per weak-scaling column.
+WEAK_SCALING_COLUMNS: List[Tuple[int, int]] = [
+    (1, 1),
+    (1, 3),
+    (2, 6),
+    (4, 12),
+    (8, 24),
+    (16, 48),
+    (32, 96),
+    (64, 192),
+]
+
+SOCKET_COLUMNS = [s for s, _ in WEAK_SCALING_COLUMNS]
+GPU_COLUMNS = [g for _, g in WEAK_SCALING_COLUMNS]
+
+
+def column_label(col: Tuple[int, int]) -> str:
+    """The paper's "sockets/GPUs" x-axis label."""
+    return f"{col[0]}/{col[1]}"
+
+
+def nodes_needed(columns=WEAK_SCALING_COLUMNS) -> int:
+    """Summit nodes required for the largest column."""
+    max_sockets = max(s for s, _ in columns)
+    max_gpus = max(g for _, g in columns)
+    return max(max_sockets // 2, (max_gpus + 5) // 6)
+
+
+def reduced_size(full_size: int, procs: int, per_proc_floor: int = 512, cap: int = 400_000) -> int:
+    """Pick a host-RAM-friendly build size for a full-scale problem.
+
+    The runtime's ``data_scale`` makes up the difference; the build size
+    keeps at least ``per_proc_floor`` elements per processor so the
+    distribution (and its halos) stays representative.
+    """
+    return int(min(full_size, max(procs * per_proc_floor, min(cap, full_size))))

@@ -1,0 +1,19 @@
+"""One module per paper artifact: Figs. 8-11 and the Fig. 12 table."""
+
+from repro.harness.experiments import (
+    fig8_spmv,
+    fig9_cg,
+    fig10_gmg,
+    fig11_quantum,
+    fig12_matfact,
+)
+
+ALL_EXPERIMENTS = {
+    "fig8": fig8_spmv,
+    "fig9": fig9_cg,
+    "fig10": fig10_gmg,
+    "fig11": fig11_quantum,
+    "fig12": fig12_matfact,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

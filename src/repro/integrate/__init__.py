@@ -1,0 +1,14 @@
+"""``repro.integrate``: Runge-Kutta integration over distributed arrays.
+
+Ported from SciPy's integrators (paper §5.2): the quantum simulation
+workload drives its Schrödinger dynamics with an 8th-order method, which
+here is the Gragg-Bulirsch-Stoer extrapolated midpoint rule (``GBS8``);
+``RK45`` is the adaptive Dormand-Prince pair, and ``RK4`` the classic
+fixed-step method.  Every stage is a handful of distributed axpy tasks
+plus the user's right-hand side (typically a sparse matvec) — exactly
+the many-small-tasks pattern the paper's Fig. 11 discussion analyzes.
+"""
+
+from repro.integrate.rk import IntegrationResult, rk4_step, solve_ivp
+
+__all__ = ["IntegrationResult", "rk4_step", "solve_ivp"]

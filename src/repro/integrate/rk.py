@@ -1,0 +1,208 @@
+"""Runge-Kutta and extrapolation integrators on distributed arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+import repro.numeric as rnp
+from repro.numeric.array import ndarray
+
+# Dormand-Prince 5(4) tableau.
+_DP_C = (0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0)
+_DP_A = (
+    (),
+    (1 / 5,),
+    (3 / 40, 9 / 40),
+    (44 / 45, -56 / 15, 32 / 9),
+    (19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729),
+    (9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656),
+    (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84),
+)
+_DP_B5 = (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0)
+_DP_B4 = (
+    5179 / 57600,
+    0.0,
+    7571 / 16695,
+    393 / 640,
+    -92097 / 339200,
+    187 / 2100,
+    1 / 40,
+)
+
+
+@dataclass
+class IntegrationResult:
+    """Integrator output: final state, statistics, samples."""
+    t: float
+    y: ndarray
+    nfev: int
+    nsteps: int
+    success: bool
+    message: str = ""
+    t_eval: List[float] = field(default_factory=list)
+    y_eval: List[np.ndarray] = field(default_factory=list)
+
+
+RHS = Callable[[float, ndarray], ndarray]
+
+
+def _axpy_sum(y0: ndarray, terms: List[Tuple[float, ndarray]]) -> ndarray:
+    out = y0.copy()
+    for coeff, vec in terms:
+        if coeff != 0.0:
+            out += vec * coeff
+    return out
+
+
+def rk4_step(fun: RHS, t: float, y: ndarray, h: float) -> ndarray:
+    """One classic RK4 step."""
+    k1 = fun(t, y)
+    k2 = fun(t + h / 2, _axpy_sum(y, [(h / 2, k1)]))
+    k3 = fun(t + h / 2, _axpy_sum(y, [(h / 2, k2)]))
+    k4 = fun(t + h, _axpy_sum(y, [(h, k3)]))
+    return _axpy_sum(y, [(h / 6, k1), (h / 3, k2), (h / 3, k3), (h / 6, k4)])
+
+
+def _dp_step(fun: RHS, t: float, y: ndarray, h: float):
+    """One Dormand-Prince step: returns (y5, error_norm, nfev)."""
+    ks: List[ndarray] = []
+    for stage in range(7):
+        if stage == 0:
+            yi = y
+        else:
+            terms = [
+                (h * a, ks[i]) for i, a in enumerate(_DP_A[stage]) if a != 0.0
+            ]
+            yi = _axpy_sum(y, terms)
+        ks.append(fun(t + _DP_C[stage] * h, yi))
+    y5 = _axpy_sum(y, [(h * b, ks[i]) for i, b in enumerate(_DP_B5) if b != 0.0])
+    err_terms = [
+        (h * (b5 - b4), ks[i])
+        for i, (b5, b4) in enumerate(zip(_DP_B5, _DP_B4))
+        if b5 != b4
+    ]
+    zero = y * 0.0
+    err_vec = _axpy_sum(zero, err_terms)
+    err = float(rnp.linalg.norm(err_vec))
+    return y5, err, 7
+
+
+def _midpoint_sequence(fun: RHS, t: float, y: ndarray, H: float, nsteps: int) -> ndarray:
+    """Gragg's modified midpoint rule with ``nsteps`` substeps."""
+    h = H / nsteps
+    y0 = y
+    y1 = _axpy_sum(y, [(h, fun(t, y))])
+    for i in range(1, nsteps):
+        y2 = _axpy_sum(y0, [(2 * h, fun(t + i * h, y1))])
+        y0, y1 = y1, y2
+    # Gragg's smoothing step: 0.5 * (z_{n-1} + z_n + h * f(t+H, z_n)).
+    return _axpy_sum(y0 + y1, [(h, fun(t + H, y1))]) * 0.5
+
+
+_GBS_SEQUENCE = (2, 4, 6, 8)  # extrapolation to ~8th order
+
+
+def _gbs8_step(fun: RHS, t: float, y: ndarray, H: float):
+    """One extrapolated-midpoint step of order ~8 (the quantum driver).
+
+    Neville recurrence in (H/n)^2:
+        T[j,k] = T[j,k-1] + (T[j,k-1] - T[j-1,k-1]) / ((n_j/n_{j-k})^2 - 1)
+    """
+    nfev = 0
+    prev_row: List[ndarray] = []
+    for j, n in enumerate(_GBS_SEQUENCE):
+        row = [_midpoint_sequence(fun, t, y, H, n)]
+        nfev += n + 2
+        for k in range(1, j + 1):
+            ratio = (_GBS_SEQUENCE[j] / _GBS_SEQUENCE[j - k]) ** 2
+            diff = row[k - 1] - prev_row[k - 1]
+            row.append(row[k - 1] + diff * (1.0 / (ratio - 1.0)))
+        prev_row = row
+    return prev_row[-1], nfev
+
+
+def solve_ivp(
+    fun: RHS,
+    t_span: Tuple[float, float],
+    y0: ndarray,
+    method: str = "RK45",
+    *,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    max_step: Optional[float] = None,
+    first_step: Optional[float] = None,
+    step: Optional[float] = None,
+    t_eval: Optional[List[float]] = None,
+    max_steps: int = 100_000,
+) -> IntegrationResult:
+    """Integrate ``dy/dt = fun(t, y)`` from ``t_span[0]`` to ``t_span[1]``.
+
+    ``RK45`` adapts its step from the embedded error estimate; ``RK4``
+    and ``GBS8`` take fixed steps of ``step`` (required).
+    """
+    t0, tf = float(t_span[0]), float(t_span[1])
+    if tf <= t0:
+        raise ValueError("t_span must be increasing")
+    t, y = t0, y0.copy()
+    nfev = 0
+    nsteps = 0
+    eval_ts: List[float] = []
+    eval_ys: List[np.ndarray] = []
+
+    def record(tcur, ycur):
+        if t_eval is not None:
+            while eval_pending and eval_pending[0] <= tcur + 1e-12:
+                eval_ts.append(eval_pending.pop(0))
+                eval_ys.append(ycur.to_numpy())
+
+    eval_pending = sorted(float(te) for te in (t_eval or []))
+
+    if method in ("RK4", "GBS8"):
+        if step is None:
+            raise ValueError(f"{method} is fixed-step: pass step=")
+        h = float(step)
+        while t < tf - 1e-12 and nsteps < max_steps:
+            h_cur = min(h, tf - t)
+            if method == "RK4":
+                y = rk4_step(fun, t, y, h_cur)
+                nfev += 4
+            else:
+                y, used = _gbs8_step(fun, t, y, h_cur)
+                nfev += used
+            t += h_cur
+            nsteps += 1
+            record(t, y)
+        return IntegrationResult(
+            t, y, nfev, nsteps, t >= tf - 1e-12,
+            "" if t >= tf - 1e-12 else "max_steps reached",
+            eval_ts, eval_ys,
+        )
+
+    if method != "RK45":
+        raise ValueError(f"unknown method {method!r}")
+
+    h = first_step if first_step is not None else (tf - t0) / 100
+    hmax = max_step if max_step is not None else (tf - t0)
+    scale0 = float(rnp.linalg.norm(y))
+    while t < tf - 1e-12 and nsteps < max_steps:
+        h = min(h, hmax, tf - t)
+        y_new, err, used = _dp_step(fun, t, y, h)
+        nfev += used
+        tolerance = atol + rtol * max(scale0, float(rnp.linalg.norm(y)))
+        if err <= tolerance or h <= 1e-14:
+            t += h
+            y = y_new
+            nsteps += 1
+            record(t, y)
+            factor = 2.0 if err == 0 else min(2.0, 0.9 * (tolerance / err) ** 0.2)
+            h *= max(0.2, factor)
+        else:
+            h *= max(0.2, 0.9 * (tolerance / err) ** 0.25)
+    return IntegrationResult(
+        t, y, nfev, nsteps, t >= tf - 1e-12,
+        "" if t >= tf - 1e-12 else "max_steps reached",
+        eval_ts, eval_ys,
+    )

@@ -1,0 +1,123 @@
+"""Per-memory validity tracking: the source of derived communication.
+
+For every region, the runtime tracks *which rectangles of it are valid in
+which memory*, each tagged with the simulated time the data became
+available there.  Reads compute the missing pieces (``needed - valid``)
+and generate copies from a memory that holds them; writes invalidate
+every other memory's overlap.  This is the dynamic communication analysis
+that makes the §4.3 halo exchange precise: in steady state only the
+one-element halo of ``x`` is missing on each GPU, so only one element is
+copied per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry import Rect, RectSet
+
+
+@dataclass
+class ValidPiece:
+    """One valid rect with its availability time."""
+    rect: Rect
+    ready_time: float
+
+
+@dataclass
+class RegionCoherence:
+    """Validity state of one region across all memories."""
+
+    # memory uid -> list of disjoint valid pieces with availability times
+    valid: Dict[int, List[ValidPiece]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def pieces(self, memory_uid: int) -> List[ValidPiece]:
+        """A memory's valid pieces (created on demand)."""
+        return self.valid.setdefault(memory_uid, [])
+
+    def valid_set(self, memory_uid: int) -> RectSet:
+        """A memory's valid rects as a RectSet."""
+        return RectSet([p.rect for p in self.pieces(memory_uid)])
+
+    def missing(self, memory_uid: int, needed: Rect) -> List[Rect]:
+        """Sub-rects of ``needed`` that are not valid in ``memory_uid``."""
+        if needed.is_empty():
+            return []
+        remaining = [needed]
+        for piece in self.pieces(memory_uid):
+            nxt: List[Rect] = []
+            for rect in remaining:
+                nxt.extend(rect.subtract(piece.rect))
+            remaining = nxt
+            if not remaining:
+                break
+        return remaining
+
+    def ready_time(self, memory_uid: int, needed: Rect) -> float:
+        """Latest availability time of valid data overlapping ``needed``."""
+        t = 0.0
+        for piece in self.pieces(memory_uid):
+            if piece.rect.overlaps(needed):
+                t = max(t, piece.ready_time)
+        return t
+
+    def find_source(self, rect: Rect, exclude: int) -> List[Tuple[int, Rect, float]]:
+        """Cover ``rect`` with valid pieces from other memories.
+
+        Returns ``(memory_uid, piece_rect, ready_time)`` fragments whose
+        union covers ``rect``.  Pieces that exist nowhere (never-written
+        data) are silently dropped — reading uninitialized data is legal
+        and transfers nothing.
+        """
+        remaining = [rect]
+        fragments: List[Tuple[int, Rect, float]] = []
+        for mem_uid, pieces in self.valid.items():
+            if mem_uid == exclude or not remaining:
+                continue
+            for piece in pieces:
+                nxt: List[Rect] = []
+                for want in remaining:
+                    part = want.intersect(piece.rect)
+                    if part.is_empty():
+                        nxt.append(want)
+                    else:
+                        fragments.append((mem_uid, part, piece.ready_time))
+                        nxt.extend(want.subtract(part))
+                remaining = nxt
+                if not remaining:
+                    break
+        return fragments
+
+    # ------------------------------------------------------------------
+    def mark_valid(self, memory_uid: int, rect: Rect, time: float) -> None:
+        """Record that ``rect`` became valid in ``memory_uid`` at ``time``."""
+        if rect.is_empty():
+            return
+        pieces = self.pieces(memory_uid)
+        out: List[ValidPiece] = []
+        for piece in pieces:
+            for leftover in piece.rect.subtract(rect):
+                out.append(ValidPiece(leftover, piece.ready_time))
+        out.append(ValidPiece(rect, time))
+        self.valid[memory_uid] = out
+
+    def mark_written(self, memory_uid: int, rect: Rect, time: float) -> None:
+        """A write: valid here, invalid everywhere else (overlap)."""
+        if rect.is_empty():
+            return
+        for mem_uid in list(self.valid.keys()):
+            if mem_uid == memory_uid:
+                continue
+            pieces = self.valid[mem_uid]
+            out: List[ValidPiece] = []
+            for piece in pieces:
+                for leftover in piece.rect.subtract(rect):
+                    out.append(ValidPiece(leftover, piece.ready_time))
+            self.valid[mem_uid] = out
+        self.mark_valid(memory_uid, rect, time)
+
+    def invalidate_all(self) -> None:
+        """Forget all placement (data stays exact)."""
+        self.valid.clear()

@@ -1,0 +1,26 @@
+"""Runtime error types."""
+
+from __future__ import annotations
+
+
+class LegionError(RuntimeError):
+    """Base class for runtime errors."""
+
+
+class OutOfMemoryError(LegionError):
+    """A memory's capacity (minus the runtime's reservation) was exceeded.
+
+    Raised by the instance manager when mapping a region would overflow a
+    framebuffer or system memory — this is how the harness reproduces the
+    paper's out-of-memory outcomes (CuPy on ML-50M/100M in Fig. 12 and the
+    64-GPU quantum point in Fig. 11).
+    """
+
+    def __init__(self, memory_name: str, requested: int, available: int):
+        super().__init__(
+            f"out of memory in {memory_name}: requested {requested} bytes, "
+            f"{available} available"
+        )
+        self.memory_name = memory_name
+        self.requested = requested
+        self.available = available

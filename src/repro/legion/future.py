@@ -1,0 +1,42 @@
+"""Futures: values paired with the simulated time they become ready.
+
+Legion returns scalar results (dot products, norms, convergence tests) as
+futures.  Passing a future into a downstream task delays that task's start
+without blocking the issuing Python program; *consuming* the value on the
+Python side (``float(...)``, a convergence branch) forces a synchronization
+that advances the issue clock — exactly the control-flow-induced syncs
+that put allreduce latency on the critical path of the CG solver (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Future:
+    """A concrete value with a simulated ready time."""
+
+    __slots__ = ("value", "ready_time")
+
+    def __init__(self, value: Any, ready_time: float = 0.0):
+        self.value = value
+        self.ready_time = float(ready_time)
+
+    @classmethod
+    def ready(cls, value: Any) -> "Future":
+        """A future that is available at time zero."""
+        return cls(value, 0.0)
+
+    def map(self, fn) -> "Future":
+        """Apply a (free) scalar function, preserving the ready time."""
+        return Future(fn(self.value), self.ready_time)
+
+    @staticmethod
+    def combine(fn, *futures: "Future") -> "Future":
+        """Combine futures with a scalar function; ready when all are."""
+        vals = [f.value for f in futures]
+        t = max((f.ready_time for f in futures), default=0.0)
+        return Future(fn(*vals), t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Future({self.value!r} @ {self.ready_time:.6g}s)"

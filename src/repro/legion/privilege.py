@@ -1,0 +1,23 @@
+"""Region privileges declared by tasks (read, write, reduce)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Privilege(enum.Enum):
+    """How a task uses a region argument."""
+    READ = "read"
+    WRITE = "write"  # read-write
+    WRITE_DISCARD = "write-discard"  # write without reading prior contents
+    REDUCE = "reduce"  # commutative accumulation (e.g. +=)
+
+    @property
+    def reads(self) -> bool:
+        """Whether prior contents must be staged."""
+        return self in (Privilege.READ, Privilege.WRITE)
+
+    @property
+    def writes(self) -> bool:
+        """Whether the task produces new contents."""
+        return self in (Privilege.WRITE, Privilege.WRITE_DISCARD, Privilege.REDUCE)

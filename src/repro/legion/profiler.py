@@ -1,0 +1,141 @@
+"""Execution counters: tasks, copies by channel kind, allreduces, memory.
+
+The integration tests assert the paper's §4.3 steady-state behaviour (only
+one-element halo copies per iteration) directly against these counters,
+and the weak-scaling harness reads communication volumes out of them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+def _channel_kind(name: str) -> str:
+    return name.split("[", 1)[0]
+
+
+@dataclass
+class Profiler:
+    """Execution counters (tasks, copies, allreduces, resizes)."""
+    tasks_launched: int = 0
+    shards_executed: int = 0
+    fills: int = 0
+    allreduces: int = 0
+    resize_copies: int = 0
+    resize_bytes: int = 0
+    copy_count: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    copy_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    task_counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    events: List[Tuple[str, float, float]] = field(default_factory=list)
+    record_events: bool = False
+
+    # ------------------------------------------------------------------
+    def record_task(self, name: str, shards: int) -> None:
+        """Count one launch of `shards` shards."""
+        self.tasks_launched += 1
+        self.shards_executed += shards
+        self.task_counts[name] += shards
+
+    def record_fill(self) -> None:
+        """Count one fill operation."""
+        self.fills += 1
+
+    def record_copy(self, channel_name: str, nbytes: int) -> None:
+        """Count a copy on a channel (bytes at full scale)."""
+        kind = _channel_kind(channel_name)
+        self.copy_count[kind] += 1
+        self.copy_bytes[kind] += nbytes
+
+    def record_resize(self, nbytes: int) -> None:
+        """Count an intra-memory instance migration."""
+        self.resize_copies += 1
+        self.resize_bytes += nbytes
+
+    def record_allreduce(self) -> None:
+        """Count one scalar allreduce."""
+        self.allreduces += 1
+
+    def record_event(self, name: str, start: float, finish: float) -> None:
+        """Record a (name, start, finish) event if enabled."""
+        if self.record_events:
+            self.events.append((name, start, finish))
+
+    # ------------------------------------------------------------------
+    def total_copy_bytes(self, kind: str | None = None) -> int:
+        """Bytes copied, optionally for one channel kind."""
+        if kind is not None:
+            return self.copy_bytes.get(kind, 0)
+        return sum(self.copy_bytes.values())
+
+    def total_copies(self, kind: str | None = None) -> int:
+        """Copy count, optionally for one channel kind."""
+        if kind is not None:
+            return self.copy_count.get(kind, 0)
+        return sum(self.copy_count.values())
+
+    def format_summary(self) -> str:
+        """A human-readable one-screen summary for examples and tools."""
+        lines = [
+            f"tasks launched:   {self.tasks_launched} "
+            f"({self.shards_executed} shards)",
+            f"allreduces:       {self.allreduces}",
+        ]
+        if self.copy_bytes:
+            moved = ", ".join(
+                f"{kind}={self.copy_bytes[kind]:,}B/{self.copy_count[kind]}"
+                for kind in sorted(self.copy_bytes)
+                if self.copy_bytes[kind]
+            )
+            lines.append(f"copies:           {moved or 'none'}")
+        if self.resize_copies:
+            lines.append(
+                f"instance resizes: {self.resize_copies} "
+                f"({self.resize_bytes:,} bytes migrated)"
+            )
+        top = sorted(self.task_counts.items(), key=lambda kv: -kv[1])[:5]
+        if top:
+            lines.append("hottest tasks:")
+            for name, count in top:
+                lines.append(f"  {count:>6}  {name}")
+        return "\n".join(lines)
+
+    def snapshot(self) -> "Profiler":
+        """A frozen copy, for differencing across program phases."""
+        snap = Profiler(
+            tasks_launched=self.tasks_launched,
+            shards_executed=self.shards_executed,
+            fills=self.fills,
+            allreduces=self.allreduces,
+            resize_copies=self.resize_copies,
+            resize_bytes=self.resize_bytes,
+        )
+        snap.copy_count = defaultdict(int, self.copy_count)
+        snap.copy_bytes = defaultdict(int, self.copy_bytes)
+        snap.task_counts = defaultdict(int, self.task_counts)
+        return snap
+
+    def since(self, snap: "Profiler") -> "Profiler":
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        delta = Profiler(
+            tasks_launched=self.tasks_launched - snap.tasks_launched,
+            shards_executed=self.shards_executed - snap.shards_executed,
+            fills=self.fills - snap.fills,
+            allreduces=self.allreduces - snap.allreduces,
+            resize_copies=self.resize_copies - snap.resize_copies,
+            resize_bytes=self.resize_bytes - snap.resize_bytes,
+        )
+        keys = set(self.copy_count) | set(snap.copy_count)
+        delta.copy_count = defaultdict(
+            int, {k: self.copy_count[k] - snap.copy_count[k] for k in keys}
+        )
+        keys = set(self.copy_bytes) | set(snap.copy_bytes)
+        delta.copy_bytes = defaultdict(
+            int, {k: self.copy_bytes[k] - snap.copy_bytes[k] for k in keys}
+        )
+        keys = set(self.task_counts) | set(snap.task_counts)
+        delta.task_counts = defaultdict(
+            int, {k: self.task_counts[k] - snap.task_counts[k] for k in keys}
+        )
+        return delta

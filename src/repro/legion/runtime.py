@@ -1,0 +1,583 @@
+"""The runtime: dependence analysis, mapping, copies and simulated time.
+
+Execution model
+---------------
+Programs issue task launches in sequential order (as SciPy/NumPy programs
+do).  For each launch the runtime
+
+1. charges the per-launch overhead on the *issue clock* — the Python-side
+   cost of Legate's task launching and metadata management, which is what
+   small-task workloads (GMG V-cycles, RK8 stages, SGD minibatches)
+   expose in the paper's single-GPU comparisons against CuPy;
+2. maps each shard's region rectangles to physical instances in the
+   target processor's memory (allocation store + coalescing, §4.2);
+3. derives copies from the coherence state (missing = needed − valid) and
+   schedules them on the machine's channels (§4.3's halo exchanges);
+4. executes the shard kernel on views of the exact backing arrays and
+   advances the processor's clock by the roofline kernel time;
+5. folds REDUCE-privilege outputs to owner tiles and allreduces scalar
+   partials with a latency/overhead model (the Legion allreduce overhead
+   that causes the CG falloff at scale in Fig. 9).
+
+Numerics are exact; only *time* and *placement* are simulated.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.legion.coherence import RegionCoherence
+from repro.legion.future import Future
+from repro.legion.instance import InstanceManager
+from repro.legion.partition import Partition, Replicate, Tiling
+from repro.legion.privilege import Privilege
+from repro.legion.profiler import Profiler
+from repro.legion.region import Region
+from repro.legion.task import Requirement, ShardContext, TaskLaunch
+from repro.machine import MachineScope, Memory, MemoryKind, Processor
+
+
+@dataclass
+class RuntimeConfig:
+    """Per-system tunables; presets model the paper's compared systems."""
+
+    name: str = "legate"
+    # Python-side cost of launching one task (constraint solving, metadata
+    # management, Legion dispatch).
+    launch_overhead: float = 1.3e-4
+    # Extra per-shard mapping cost charged on each shard's start.
+    shard_overhead: float = 2.0e-6
+    # Scalar allreduce: fixed overhead plus per-tree-hop overhead on top
+    # of the network latency model, plus a per-participant term modelling
+    # the O(P) bookkeeping in Legion's allreduce implementation that the
+    # paper reports being exposed at 32+ nodes (Fig. 9, footnote 1).
+    allreduce_base_overhead: float = 2.0e-5
+    allreduce_hop_overhead: float = 3.0e-5
+    allreduce_linear_overhead: float = 1.5e-5
+    # Framebuffer bytes reserved by the runtime and external CUDA
+    # libraries (why Legate cannot run ML-25M on one GPU in Fig. 12).
+    reserved_fb_bytes: int = int(2.5 * 2**30)
+    # Mapper behaviour (ablatable).
+    # Deferred instance collection: recycled allocations for this many
+    # in-flight tasks stay charged (see instance.py).
+    inflight_pool_window: int = 24
+    coalescing: bool = True
+    coalesce_slack: float = 2.0
+    reuse_partitions: bool = True
+    # Cost penalty for reshaping global-format local pieces into the
+    # layouts external local libraries (cuSPARSE/MKL) accept (§3).
+    local_reshape_penalty: bool = True
+    # Exact (piecewise) coordinate images: copy only the referenced
+    # runs instead of the bounding rect.  Legion's images are exact;
+    # bounding rects model compact rectangular instances.  Ablatable.
+    exact_images: bool = False
+    # Kernel efficiency multiplier for SDDMM-like fused kernels; the
+    # baseline cuSPARSE SDDMM is modelled as inefficient (Fig. 12).
+    sddmm_inefficiency: float = 1.0
+    # Kernel slowdown once a memory fills past the threshold — the
+    # "CuPy runs close to the GPU memory limit" effect on ML-25M
+    # (Fig. 12): allocator churn and fragmented, uncoalesced buffers.
+    memory_pressure_threshold: float = 0.85
+    memory_pressure_slowdown: float = 1.0
+    # Problem magnification: benchmarks build problems at a reduced size
+    # that fits in host RAM and set data_scale so that simulated kernel
+    # work, copy volumes and memory footprints correspond to the
+    # paper-scale problem.  Numerics stay exact at the reduced size.
+    data_scale: float = 1.0
+    # Communication magnification for inter-memory copies.  Defaults to
+    # data_scale, but problems whose halos are *surfaces* scale them
+    # differently: a 2-D grid's halo grows with sqrt(N), a banded
+    # matrix's halo not at all, the quantum Hamiltonian's with N.
+    comm_scale: float | None = None
+
+    @property
+    def effective_comm_scale(self) -> float:
+        """The magnification applied to inter-memory copy volumes."""
+        return self.data_scale if self.comm_scale is None else self.comm_scale
+
+    @classmethod
+    def legate(cls, **overrides) -> "RuntimeConfig":
+        """The system under evaluation: Legate Sparse + cuNumeric."""
+        return cls(name="legate", **overrides)
+
+    @classmethod
+    def cupy(cls, **overrides) -> "RuntimeConfig":
+        """Single-GPU CuPy: small launch overhead, cuSPARSE kernel quirks."""
+        defaults = dict(
+            name="cupy",
+            allreduce_linear_overhead=0.0,
+            launch_overhead=1.6e-5,
+            shard_overhead=0.0,
+            allreduce_base_overhead=0.0,
+            allreduce_hop_overhead=0.0,
+            reserved_fb_bytes=int(0.6 * 2**30),
+            local_reshape_penalty=False,
+            sddmm_inefficiency=5.0,
+            memory_pressure_slowdown=6.0,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def scipy(cls, **overrides) -> "RuntimeConfig":
+        """Stock SciPy: one CPU core, negligible dispatch overhead."""
+        defaults = dict(
+            name="scipy",
+            allreduce_linear_overhead=0.0,
+            launch_overhead=2.0e-6,
+            shard_overhead=0.0,
+            allreduce_base_overhead=0.0,
+            allreduce_hop_overhead=0.0,
+            reserved_fb_bytes=0,
+            local_reshape_penalty=False,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def petsc(cls, **overrides) -> "RuntimeConfig":
+        """PETSc-grade constants (used for sanity checks; the real
+        comparator is repro.baselines.petsc)."""
+        defaults = dict(
+            name="petsc",
+            allreduce_linear_overhead=0.0,
+            launch_overhead=4.0e-6,
+            shard_overhead=0.0,
+            allreduce_base_overhead=1.0e-6,
+            allreduce_hop_overhead=2.0e-6,
+            reserved_fb_bytes=int(0.4 * 2**30),
+            local_reshape_penalty=False,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+class Runtime:
+    """One simulated execution: a machine scope plus clocks and state."""
+
+    def __init__(self, scope: MachineScope, config: Optional[RuntimeConfig] = None):
+        self.scope = scope
+        self.machine = scope.machine
+        self.config = config or RuntimeConfig()
+        self.profiler = Profiler()
+        self.instances = InstanceManager(
+            reserved_fb_bytes=self.config.reserved_fb_bytes,
+            coalesce_slack=self.config.coalesce_slack,
+            coalescing=self.config.coalescing,
+            data_scale=self.config.data_scale,
+            inflight_window=self.config.inflight_pool_window,
+        )
+        self._coherence: Dict[int, RegionCoherence] = {}
+        # Memory-magnification overrides keyed by region dim-0 extent;
+        # see Region.mem_scale.
+        self.mem_scale_by_extent: Dict[int, float] = {}
+        self._proc_busy: Dict[int, float] = {p.uid: 0.0 for p in scope.processors}
+        self.issue_time = 0.0
+        # Optional tracing hook (repro.legion.tracing): called with the
+        # task name per launch; returns a launch-overhead multiplier.
+        self._trace_hook = None
+        self.machine.reset_channels()
+        # Host staging memory: node-0 system memory.
+        self._host_memory = next(
+            m for m in self.machine.memories if m.kind == MemoryKind.SYSMEM
+        )
+        self._rng = np.random.default_rng(0x5EED)
+
+    # ------------------------------------------------------------------
+    # Region management
+    # ------------------------------------------------------------------
+    def create_region(
+        self,
+        shape: Tuple[int, ...],
+        dtype,
+        data: Optional[np.ndarray] = None,
+        name: str = "",
+    ) -> Region:
+        """Create a region (host data becomes valid in node-0 sysmem)."""
+        region = Region(shape, dtype, data=data, name=name, runtime=self)
+        coh = RegionCoherence()
+        self._coherence[region.uid] = coh
+        if data is not None and region.rect.volume() > 0:
+            # Attached host data: valid in node-0 system memory.  No
+            # instance is charged — attach semantics: the host copy is a
+            # staging fiction for data that real runs construct
+            # distributed (capacity accounting applies to the instances
+            # tasks map, like Legion attach).
+            coh.mark_valid(self._host_memory.uid, region.rect, self.issue_time)
+        return region
+
+    def coherence(self, region: Region) -> RegionCoherence:
+        """A region's validity-tracking state."""
+        coh = self._coherence.get(region.uid)
+        if coh is None:
+            coh = RegionCoherence()
+            self._coherence[region.uid] = coh
+        return coh
+
+    def free_region(self, region: Region) -> None:
+        """Recycle instances and drop coherence state."""
+        self._coherence.pop(region.uid, None)
+        self.instances.free_region(region.uid)
+
+    @property
+    def num_procs(self) -> int:
+        """Processors in this runtime's scope."""
+        return len(self.scope.processors)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The runtime-seeded random generator."""
+        return self._rng
+
+    def seed(self, value: int) -> None:
+        """Reset the runtime random generator."""
+        self._rng = np.random.default_rng(value)
+
+    # ------------------------------------------------------------------
+    # Clocks
+    # ------------------------------------------------------------------
+    def wait(self, future: Future) -> Any:
+        """Block the issuing program on a future (control-flow sync)."""
+        self.issue_time = max(self.issue_time, future.ready_time)
+        return future.value
+
+    def barrier(self) -> float:
+        """Wait for all outstanding work; returns the simulated time."""
+        self.issue_time = max(
+            self.issue_time, max(self._proc_busy.values(), default=0.0)
+        )
+        return self.issue_time
+
+    def elapsed(self) -> float:
+        """Latest simulated time across issue and processors."""
+        return max(self.issue_time, max(self._proc_busy.values(), default=0.0))
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def _copy(self, src: Memory, dst: Memory, nbytes: int, ready: float) -> float:
+        """Schedule a copy between memories; returns its finish time."""
+        nbytes = int(nbytes * self.config.effective_comm_scale)
+        channels = self.machine.channels_between(src, dst)
+        start = max([ready] + [c.busy_until for c in channels])
+        latency = sum(c.latency for c in channels)
+        bandwidth = min(c.bandwidth for c in channels)
+        finish = start + latency + nbytes / bandwidth
+        for chan in channels:
+            chan.busy_until = finish
+            self.profiler.record_copy(chan.name, nbytes)
+        return finish
+
+    def _intra_copy(self, memory: Memory, nbytes: int, ready: float) -> float:
+        nbytes = int(nbytes * self.config.data_scale)
+        chan = self.machine.channels_between(memory, memory)[0]
+        start = max(ready, chan.busy_until)
+        finish = start + nbytes / chan.bandwidth
+        chan.busy_until = finish
+        return finish
+
+    # ------------------------------------------------------------------
+    # Task launch
+    # ------------------------------------------------------------------
+    def launch(self, task: TaskLaunch) -> Optional[Future]:
+        """Execute a task launch: map, copy, run, time (see module docs)."""
+        colors = task.color_count
+        procs = self.scope.processors
+        self.profiler.record_task(task.name, colors)
+        overhead = self.config.launch_overhead
+        if self._trace_hook is not None:
+            overhead *= self._trace_hook(task.name)
+        self.issue_time += overhead
+
+        scalar_ready = 0.0
+        scalar_values: Dict[str, Any] = {}
+        for key, val in task.scalars.items():
+            if isinstance(val, Future):
+                scalar_ready = max(scalar_ready, val.ready_time)
+                scalar_values[key] = val.value
+            else:
+                scalar_values[key] = val
+
+        partials: List[Any] = []
+        partial_times: List[float] = []
+        reduce_writes: Dict[str, List[Tuple[Rect, Memory, float]]] = {}
+
+        for color in range(colors):
+            proc = procs[color % len(procs)]
+            memory = proc.memory
+            t_input = max(
+                self.issue_time,
+                scalar_ready,
+                self._proc_busy[proc.uid] + self.config.shard_overhead,
+            )
+
+            arrays: Dict[str, np.ndarray] = {}
+            rects: Dict[str, Rect] = {}
+            for req in task.requirements:
+                rect = req.partition.rect(color)
+                arrays[req.name] = req.region.data
+                rects[req.name] = rect
+                if rect.is_empty():
+                    continue
+                inst, resize_bytes, fresh = self.instances.ensure(
+                    memory, req.region.uid, rect, req.region.itemsize,
+                    scale=self._mem_scale(req.region),
+                )
+                if resize_bytes:
+                    self.profiler.record_resize(resize_bytes)
+                    t_input = self._intra_copy(memory, resize_bytes, t_input)
+                if req.privilege.reads:
+                    pieces = req.partition.pieces(color)
+                    if fresh:
+                        # Populate the new instance with whatever part of
+                        # the rect is already valid in this memory (held
+                        # by other instances of the region).
+                        coh = self.coherence(req.region)
+                        missing = sum(
+                            piece.volume()
+                            for piece in coh.missing(memory.uid, rect)
+                        )
+                        dup = (rect.volume() - missing) * req.region.itemsize
+                        if dup > 0:
+                            self.profiler.record_resize(dup)
+                            t_input = self._intra_copy(memory, dup, t_input)
+                    for piece in pieces:
+                        t_input = self._stage_reads(
+                            req.region, memory, piece, t_input
+                        )
+
+            ctx = ShardContext(
+                color, colors, arrays, rects, scalar_values, self.config
+            )
+            flops, nbytes = task.cost_fn(ctx)
+            scale = self.config.data_scale
+            exec_time = proc.kernel_time(float(flops) * scale, float(nbytes) * scale)
+            if self.config.memory_pressure_slowdown != 1.0:
+                state = self.instances.state(memory)
+                budget = memory.capacity - state.reserved_bytes
+                if budget > 0 and (
+                    state.used_bytes / budget
+                    > self.config.memory_pressure_threshold
+                ):
+                    exec_time *= self.config.memory_pressure_slowdown
+            start = t_input
+            finish = start + exec_time
+            self._proc_busy[proc.uid] = finish
+            self.profiler.record_event(task.name, start, finish)
+
+            partial = task.kernel(ctx)
+            if task.reduction is not None:
+                partials.append(partial)
+                partial_times.append(finish)
+
+            for req in task.requirements:
+                rect = rects[req.name]
+                if rect.is_empty() or not req.privilege.writes:
+                    continue
+                if req.privilege == Privilege.REDUCE:
+                    reduce_writes.setdefault(req.name, []).append(
+                        (rect, memory, finish)
+                    )
+                else:
+                    self.coherence(req.region).mark_written(
+                        memory.uid, rect, finish
+                    )
+
+        for req in task.requirements:
+            if req.name in reduce_writes:
+                self._fold_reduction(
+                    task, req, reduce_writes[req.name], colors
+                )
+
+        if task.reduction is not None:
+            return self.allreduce(partials, partial_times, op=task.reduction)
+        return None
+
+    def _stage_reads(
+        self, region: Region, memory: Memory, rect: Rect, t_input: float
+    ) -> float:
+        """Make ``rect`` of ``region`` valid in ``memory``; derive copies."""
+        coh = self.coherence(region)
+        t_input = max(t_input, coh.ready_time(memory.uid, rect))
+        missing = coh.missing(memory.uid, rect)
+        for piece in missing:
+            for src_uid, frag, t_src in coh.find_source(piece, exclude=memory.uid):
+                src_mem = self._memory_by_uid(src_uid)
+                nbytes = frag.volume() * region.itemsize
+                finish = self._copy(src_mem, memory, nbytes, t_src)
+                coh.mark_valid(memory.uid, frag, finish)
+                t_input = max(t_input, finish)
+        return t_input
+
+    def _fold_reduction(
+        self,
+        task: TaskLaunch,
+        req: Requirement,
+        writes: List[Tuple[Rect, Memory, float]],
+        colors: int,
+    ) -> None:
+        """Fold per-shard REDUCE contributions onto owner tiles."""
+        owner = task.fold_partition or Tiling.create(req.region, colors)
+        coh = self.coherence(req.region)
+        procs = self.scope.processors
+        for color in range(owner.color_count):
+            proc = procs[color % len(procs)]
+            memory = proc.memory
+            tile = owner.rect(color)
+            if tile.is_empty():
+                continue
+            t_done = self.issue_time
+            for rect, src_mem, t_write in writes:
+                overlap = tile.intersect(rect)
+                if overlap.is_empty():
+                    continue
+                nbytes = overlap.volume() * req.region.itemsize
+                if src_mem.uid != memory.uid:
+                    t_arrive = self._copy(src_mem, memory, nbytes, t_write)
+                else:
+                    t_arrive = t_write
+                # Read-modify-write fold on the owner processor.
+                fold_time = (
+                    2.0 * nbytes * self.config.data_scale / proc.mem_bandwidth
+                )
+                t_start = max(t_arrive, self._proc_busy[proc.uid])
+                t_done = max(t_done, t_start + fold_time)
+                self._proc_busy[proc.uid] = t_start + fold_time
+            coh.mark_written(memory.uid, tile, t_done)
+
+    def _mem_scale(self, region: Region):
+        if region.mem_scale is not None:
+            return region.mem_scale
+        return self.mem_scale_by_extent.get(region.shape[0])
+
+    def _memory_by_uid(self, uid: int) -> Memory:
+        for mem in self.machine.memories:
+            if mem.uid == uid:
+                return mem
+        raise KeyError(uid)
+
+    # ------------------------------------------------------------------
+    # Scalar allreduce
+    # ------------------------------------------------------------------
+    def allreduce(
+        self,
+        partials: List[Any],
+        ready_times: List[float],
+        op: str = "sum",
+        nbytes: int = 8,
+    ) -> Future:
+        """Fold per-shard scalar partials with the tree + overhead model."""
+        if op == "sum":
+            value = _tree_sum(partials)
+        elif op == "max":
+            value = max(partials)
+        elif op == "min":
+            value = min(partials)
+        elif op == "prod":
+            value = partials[0]
+            for part in partials[1:]:
+                value = value * part
+        else:
+            raise ValueError(f"unknown reduction op {op!r}")
+        t0 = max(ready_times) if ready_times else self.issue_time
+        p = len(partials)
+        self.profiler.record_allreduce()
+        if p <= 1:
+            return Future(value, t0 + self.config.allreduce_base_overhead)
+        hops = math.ceil(math.log2(p))
+        hop_latency = self.machine.interconnect_latency(self.scope.nodes)
+        bandwidth = self.machine.config.nic_bandwidth
+        per_hop = (
+            hop_latency + nbytes / bandwidth + self.config.allreduce_hop_overhead
+        )
+        t = (
+            t0
+            + self.config.allreduce_base_overhead
+            + hops * per_hop
+            + p * self.config.allreduce_linear_overhead
+        )
+        return Future(value, t)
+
+    # ------------------------------------------------------------------
+    # Fill
+    # ------------------------------------------------------------------
+    def fill(self, region: Region, value: Any, partition: Optional[Partition] = None) -> None:
+        """Distributed fill of a region with a constant."""
+        part = partition or Tiling.create(region, self.num_procs)
+        self.profiler.record_fill()
+
+        def kernel(ctx: ShardContext) -> None:
+            ctx.view("out")[...] = value
+
+        def cost(ctx: ShardContext) -> tuple:
+            vol = ctx.rect("out").volume()
+            return (0.0, vol * region.itemsize)
+
+        self.launch(
+            TaskLaunch(
+                name="fill",
+                requirements=[
+                    Requirement("out", region, part, Privilege.WRITE_DISCARD)
+                ],
+                kernel=kernel,
+                cost_fn=cost,
+            )
+        )
+
+
+def _tree_sum(values: List[Any]):
+    """Pairwise (tree) summation: deterministic and better-conditioned."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    while len(vals) > 1:
+        nxt = []
+        for i in range(0, len(vals) - 1, 2):
+            nxt.append(vals[i] + vals[i + 1])
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]
+
+
+# ----------------------------------------------------------------------
+# Current-runtime plumbing
+# ----------------------------------------------------------------------
+_current_runtime: Optional[Runtime] = None
+
+
+def get_runtime() -> Runtime:
+    """The runtime frontends (numeric/sparse) issue their tasks to."""
+    global _current_runtime
+    if _current_runtime is None:
+        from repro.machine import ProcessorKind, laptop
+
+        machine = laptop()
+        _current_runtime = Runtime(
+            machine.scope(ProcessorKind.CPU_SOCKET, 1), RuntimeConfig.legate()
+        )
+    return _current_runtime
+
+
+def set_runtime(runtime: Optional[Runtime]) -> Optional[Runtime]:
+    """Install the runtime frontends issue to; returns the previous one."""
+    global _current_runtime
+    previous = _current_runtime
+    _current_runtime = runtime
+    return previous
+
+
+@contextlib.contextmanager
+def runtime_scope(runtime: Runtime):
+    """Temporarily install a runtime (restores the previous on exit)."""
+    previous = set_runtime(runtime)
+    try:
+        yield runtime
+    finally:
+        set_runtime(previous)

@@ -1,0 +1,101 @@
+"""Task launches: privilege-carrying computations over partitioned regions.
+
+A :class:`TaskLaunch` is the low-level unit the runtime executes: a kernel
+function applied once per color of the launch's partitions.  Kernels
+receive a :class:`ShardContext` giving global (exact) NumPy arrays plus
+the shard's rectangles, mirroring how DISTAL-generated Legion tasks index
+into their region arguments with global bounds (paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.legion.partition import Partition
+from repro.legion.privilege import Privilege
+from repro.legion.region import Region
+
+
+@dataclass
+class Requirement:
+    """One region argument of a task: region + partition + privilege."""
+
+    name: str
+    region: Region
+    partition: Partition
+    privilege: Privilege
+
+
+class ShardContext:
+    """Everything one shard (color) of a task launch sees."""
+
+    __slots__ = ("color", "colors", "arrays", "rects", "scalars", "config")
+
+    def __init__(
+        self,
+        color: int,
+        colors: int,
+        arrays: Dict[str, np.ndarray],
+        rects: Dict[str, Rect],
+        scalars: Dict[str, Any],
+        config,
+    ):
+        self.color = color
+        self.colors = colors
+        self.arrays = arrays
+        self.rects = rects
+        self.scalars = scalars
+        self.config = config
+
+    def view(self, name: str) -> np.ndarray:
+        """The shard's slice of a region (global array, shard rect)."""
+        return self.arrays[name][self.rects[name].slices()]
+
+    def rect(self, name: str) -> Rect:
+        """The shard's rect of a region argument."""
+        return self.rects[name]
+
+    def scalar(self, name: str) -> Any:
+        """A scalar argument (futures already unwrapped)."""
+        return self.scalars[name]
+
+
+# Kernel: computes the shard numerics, optionally returning a scalar
+# partial for cross-shard reduction.  Cost function: returns
+# (flops, bytes_moved) for the roofline timing model.
+KernelFn = Callable[[ShardContext], Optional[Any]]
+CostFn = Callable[[ShardContext], tuple]
+
+
+def default_cost(ctx: ShardContext) -> tuple:
+    """Fallback cost: touch every byte of every argument once."""
+    nbytes = 0
+    for name, rect in ctx.rects.items():
+        nbytes += rect.volume() * ctx.arrays[name].dtype.itemsize
+    return (0.0, float(nbytes))
+
+
+@dataclass
+class TaskLaunch:
+    """A parallel task launch over a color space."""
+
+    name: str
+    requirements: List[Requirement]
+    kernel: KernelFn
+    cost_fn: CostFn = default_cost
+    scalars: Dict[str, Any] = field(default_factory=dict)
+    # 'sum' / 'max' / 'min' cross-shard reduction of kernel return values
+    # into a Future, or None when kernels return nothing.
+    reduction: Optional[str] = None
+    # Owner partition used to fold REDUCE-privilege outputs; defaults to
+    # an even tiling of the output region.
+    fold_partition: Optional[Partition] = None
+
+    @property
+    def color_count(self) -> int:
+        """The launch color space (max over partitions)."""
+        return max(r.partition.color_count for r in self.requirements)

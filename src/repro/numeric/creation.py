@@ -1,0 +1,122 @@
+"""Array creation routines (distributed fills and host attaches)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.constraints import AutoTask, Store
+from repro.legion.runtime import Runtime, get_runtime
+from repro.numeric.array import Scalar, ndarray
+
+
+def _normalize_shape(shape) -> Tuple[int, ...]:
+    if isinstance(shape, (int, np.integer)):
+        return (int(shape),)
+    return tuple(int(s) for s in shape)
+
+
+def _make(shape, dtype, runtime: Optional[Runtime] = None, name: str = "") -> ndarray:
+    rt = runtime or get_runtime()
+    store = Store.create(_normalize_shape(shape), np.dtype(dtype), runtime=rt, name=name)
+    return ndarray(store)
+
+
+def fill_inplace(arr: ndarray, value) -> None:
+    """Distributed fill; establishes the array's key partition."""
+    rt = arr.store.runtime
+    if isinstance(value, Scalar):
+        value = value.future
+
+    def kernel(ctx):
+        ctx.view("out")[...] = ctx.scalar("value")
+
+    def cost(ctx):
+        vol = ctx.rect("out").volume()
+        return 0.0, vol * arr.dtype.itemsize
+
+    task = AutoTask(rt, "fill", kernel, cost)
+    task.add_output("out", arr.store)
+    task.add_scalar_arg("value", value)
+    task.execute()
+
+
+def empty(shape, dtype=np.float64) -> ndarray:
+    """An uninitialized distributed array."""
+    return _make(shape, dtype)
+
+
+def empty_like(arr: ndarray, dtype=None) -> ndarray:
+    """An uninitialized array with another array's shape."""
+    return _make(arr.shape, dtype or arr.dtype)
+
+
+def zeros(shape, dtype=np.float64) -> ndarray:
+    """A zero-filled distributed array."""
+    out = _make(shape, dtype)
+    fill_inplace(out, out.dtype.type(0))
+    return out
+
+
+def zeros_like(arr: ndarray, dtype=None) -> ndarray:
+    """Zeros with another array's shape/dtype."""
+    return zeros(arr.shape, dtype or arr.dtype)
+
+
+def ones(shape, dtype=np.float64) -> ndarray:
+    """A one-filled distributed array."""
+    out = _make(shape, dtype)
+    fill_inplace(out, out.dtype.type(1))
+    return out
+
+
+def ones_like(arr: ndarray, dtype=None) -> ndarray:
+    """Ones with another array's shape/dtype."""
+    return ones(arr.shape, dtype or arr.dtype)
+
+
+def full(shape, value, dtype=None) -> ndarray:
+    """A constant-filled distributed array."""
+    if dtype is None:
+        dtype = np.array(value).dtype if not isinstance(value, Scalar) else np.float64
+    out = _make(shape, dtype)
+    fill_inplace(out, value)
+    return out
+
+
+def full_like(arr: ndarray, value, dtype=None) -> ndarray:
+    """A constant fill with another array's shape/dtype."""
+    return full(arr.shape, value, dtype or arr.dtype)
+
+
+def array(obj, dtype=None) -> ndarray:
+    """Attach host data as a distributed array (copies the input)."""
+    if isinstance(obj, ndarray):
+        data = obj.to_numpy()
+    else:
+        data = np.array(obj, dtype=dtype)
+    if dtype is not None:
+        data = data.astype(dtype)
+    if data.ndim not in (1, 2):
+        raise ValueError("repro.numeric supports 1-D and 2-D arrays")
+    rt = get_runtime()
+    store = Store.create(data.shape, data.dtype, data=data, runtime=rt)
+    return ndarray(store)
+
+
+def asarray(obj, dtype=None) -> ndarray:
+    """Pass arrays through; attach anything else."""
+    if isinstance(obj, ndarray) and (dtype is None or obj.dtype == np.dtype(dtype)):
+        return obj
+    return array(obj, dtype=dtype)
+
+
+def arange(*args, dtype=None) -> ndarray:
+    """Attach ``numpy.arange`` output as a distributed array."""
+    return array(np.arange(*args), dtype=dtype)
+
+
+def linspace(start, stop, num=50, dtype=None) -> ndarray:
+    """Attach ``numpy.linspace`` output as a distributed array."""
+    return array(np.linspace(start, stop, num), dtype=dtype)

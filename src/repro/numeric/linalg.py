@@ -1,0 +1,20 @@
+"""``repro.numeric.linalg``: the norms the paper's workloads use."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.array import Scalar, ndarray
+from repro.numeric.reductions import amax, sum_abs_squared
+
+
+def norm(a: ndarray, ord=None) -> Scalar:
+    """Vector 2-norm / matrix Frobenius norm (``ord=None`` or 2), or
+    the infinity norm (``ord=inf``) of a 1-D array."""
+    if ord in (None, 2, "fro"):
+        return sum_abs_squared(a).sqrt()
+    if ord == np.inf:
+        from repro.numeric.ufunc import absolute
+
+        return amax(absolute(a))
+    raise NotImplementedError(f"norm ord={ord!r} is not implemented")

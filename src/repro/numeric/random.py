@@ -1,0 +1,81 @@
+"""Distributed random number generation.
+
+Each shard draws from its own generator seeded by ``(seed, draw counter,
+shard color)``, so results are deterministic for a given runtime seed and
+processor count (they are *not* bit-identical to NumPy's, which a
+distributed generator cannot be).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.constraints import AutoTask
+from repro.legion.runtime import get_runtime
+from repro.numeric.array import ndarray
+from repro.numeric.creation import _make, _normalize_shape
+
+_seed = 0x1234
+_counter = itertools.count()
+
+
+def seed(value: int) -> None:
+    """Reset the distributed RNG streams."""
+    global _seed, _counter
+    _seed = int(value)
+    _counter = itertools.count()
+
+
+def _rng_fill(shape, draw: str, dtype=np.float64, **params) -> ndarray:
+    rt = get_runtime()
+    out = _make(_normalize_shape(shape), dtype, runtime=rt)
+    draw_id = next(_counter)
+
+    def kernel(ctx):
+        rng = np.random.default_rng((_seed, draw_id, ctx.color))
+        view = ctx.view("out")
+        sample = getattr(rng, draw)(size=view.shape, **params)
+        view[...] = sample.astype(dtype, copy=False)
+
+    def cost(ctx):
+        vol = ctx.rect("out").volume()
+        return 10.0 * vol, vol * out.dtype.itemsize
+
+    task = AutoTask(rt, f"rng_{draw}", kernel, cost)
+    task.add_output("out", out.store)
+    task.execute()
+    return out
+
+
+def rand(*shape) -> ndarray:
+    """Uniform [0, 1) samples (``numpy.random.rand`` signature)."""
+    if not shape:
+        shape = (1,)
+    return _rng_fill(shape, "random")
+
+
+def random(shape) -> ndarray:
+    """Uniform [0, 1) samples of a given shape."""
+    return _rng_fill(shape, "random")
+
+
+def uniform(low=0.0, high=1.0, size=None) -> ndarray:
+    """Uniform [low, high) samples."""
+    return _rng_fill(size, "uniform", low=low, high=high)
+
+
+def standard_normal(size) -> ndarray:
+    """Standard normal samples."""
+    return _rng_fill(size, "standard_normal")
+
+
+def normal(loc=0.0, scale=1.0, size=None) -> ndarray:
+    """Normal(loc, scale) samples."""
+    return _rng_fill(size, "normal", loc=loc, scale=scale)
+
+
+def integers(low: int, high: int, size=None) -> ndarray:
+    """Uniform integers in [low, high) as an int64 array."""
+    return _rng_fill(size, "integers", dtype=np.int64, low=low, high=high)

@@ -1,0 +1,16 @@
+"""``repro.sparse``: the user-facing name of the sparse library.
+
+Mirrors the paper's import idiom (Fig. 1)::
+
+    try:
+        import repro.numeric as np
+        import repro.sparse as sp
+    except ImportError:
+        import numpy as np
+        import scipy.sparse as sp
+
+Everything is re-exported from :mod:`repro.core`.
+"""
+
+from repro.core import *  # noqa: F401,F403
+from repro.core import __all__  # noqa: F401

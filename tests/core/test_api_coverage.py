@@ -1,0 +1,92 @@
+"""The §5 coverage claims, checked against the actual package surface."""
+
+import numpy as np
+import pytest
+
+import repro.sparse as sp
+from repro.core import coverage
+from repro.distal import get_registry
+from repro.distal.codegen import supported_statements
+from repro.distal.formats import COO, CSR, DIA
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+
+@pytest.fixture
+def rt():
+    machine = laptop()
+    runtime = Runtime(machine.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate())
+    with runtime_scope(runtime):
+        yield runtime
+
+
+class TestInventoryIsHonest:
+    def test_namespace_functions_exist(self, rt):
+        for name in [
+            "csr_matrix", "csc_matrix", "coo_matrix", "dia_matrix",
+            "eye", "identity", "diags", "random", "rand", "kron",
+            "vstack", "hstack", "issparse",
+        ]:
+            assert hasattr(sp, name), name
+
+    def test_linalg_functions_exist(self, rt):
+        for name in [
+            "cg", "cgs", "bicg", "bicgstab", "gmres", "eigsh",
+            "power_iteration", "norm", "LinearOperator", "aslinearoperator",
+        ]:
+            assert hasattr(sp.linalg, name), name
+
+    def test_matrix_methods_exist(self, rt):
+        A = sp.eye(4, format="csr")
+        for name in [
+            "tocsr", "tocsc", "tocoo", "todia", "asformat", "toarray",
+            "transpose", "diagonal", "sum", "mean", "copy", "astype",
+            "conj", "multiply", "maximum", "minimum", "power", "getnnz",
+        ]:
+            assert hasattr(A, name), name
+
+    def test_generated_statement_count(self):
+        """The paper generates 14 functions with DISTAL; we generate one
+        kernel per (statement, format) pair — 10 dispatch targets across
+        8 statements and 3 sparse formats."""
+        assert len(supported_statements()) == len(coverage.GENERATED)
+
+    def test_kernels_actually_generate(self, rt):
+        reg = get_registry()
+        for key, fmt in [
+            ("y(i)=A(i,j)*x(j)", CSR),
+            ("y(j)=A(i,j)*x(i)", CSR),
+            ("Y(i,k)=A(i,j)*X(j,k)", CSR),
+            ("Y(j,k)=A(i,j)*X(i,k)", CSR),
+            ("R(i,j)=B(i,j)*C(i,k)*D(j,k)", CSR),
+            ("y(i)=A(i,j)", CSR),
+            ("y(j)=A(i,j)", CSR),
+            ("y(i)=A(i,i)", CSR),
+            ("y(i)=A(i,j)*x(j)", DIA),
+            ("y(i)=A(i,j)*x(j)", COO),
+        ]:
+            spec = reg.get(key, fmt, ProcessorKind.GPU)
+            assert callable(spec.kernel)
+            assert "def kernel" in spec.source
+
+    def test_counts_are_substantial(self):
+        """The reproduction's surface is comparable to the paper's 35%
+        prototype in structure: dozens of ported operations on a small
+        generated core plus a handful of hand-written kernels."""
+        assert len(coverage.GENERATED) >= 10
+        assert len(coverage.PORTED) >= 60
+        assert len(coverage.HANDWRITTEN) >= 5
+        assert coverage.implemented_count() >= 80
+
+    def test_summary_renders(self):
+        text = coverage.summary()
+        assert "DISTAL-generated" in text
+
+    def test_unimplemented_documented(self):
+        assert "lil_matrix/dok_matrix" in coverage.UNIMPLEMENTED
+
+    def test_bsr_is_implemented_not_planned(self):
+        """The paper *plans* BSR (§5.4); this reproduction ships it."""
+        assert "bsr_matrix" not in coverage.UNIMPLEMENTED
+        assert "bsr_matvec" in coverage.GENERATED

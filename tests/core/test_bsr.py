@@ -1,0 +1,105 @@
+"""BSR matrices (the §5.4 planned format, implemented)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.numeric as rnp
+import repro.sparse as sp
+
+
+def random_bsr(nb, mb, R=2, C=3, density=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    mask = sps.random(nb, mb, density=density, random_state=rng, format="csr")
+    dense = np.zeros((nb * R, mb * C))
+    for i, j in zip(*mask.nonzero()):
+        dense[i * R : (i + 1) * R, j * C : (j + 1) * C] = rng.random((R, C))
+    return sps.bsr_matrix(sps.csr_matrix(dense), blocksize=(R, C))
+
+
+class TestConstruction:
+    def test_from_scipy(self, rt):
+        ref = random_bsr(6, 5, seed=1)
+        A = sp.bsr_matrix(ref)
+        assert A.format == "bsr"
+        assert A.blocksize == (2, 3)
+        np.testing.assert_allclose(A.toarray(), ref.toarray())
+
+    def test_from_dense(self, rt):
+        dense = random_bsr(4, 4, R=2, C=2, seed=2).toarray()
+        A = sp.bsr_matrix(dense, blocksize=(2, 2))
+        np.testing.assert_allclose(A.toarray(), dense)
+
+    def test_from_arrays(self, rt):
+        ref = random_bsr(5, 5, R=2, C=2, seed=3)
+        A = sp.bsr_matrix(
+            (ref.data, ref.indices, ref.indptr),
+            shape=ref.shape,
+        )
+        np.testing.assert_allclose(A.toarray(), ref.toarray())
+
+    def test_nnz_counts_block_entries(self, rt):
+        ref = random_bsr(4, 4, R=2, C=2, seed=4)
+        A = sp.bsr_matrix(ref)
+        assert A.nnz == A.nblocks * 4
+
+    def test_from_csr_roundtrip(self, rt):
+        ref = random_bsr(4, 6, R=3, C=2, seed=5)
+        A = sp.bsr_matrix(sp.csr_matrix(ref.tocsr()), blocksize=(3, 2))
+        np.testing.assert_allclose(A.toarray(), ref.toarray())
+        back = A.tocsr()
+        assert back.format == "csr"
+        np.testing.assert_allclose(back.toarray(), ref.toarray())
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("blocks", [(2, 2), (2, 3), (4, 1)])
+    def test_matches_scipy(self, rt, blocks):
+        R, C = blocks
+        ref = random_bsr(8, 6, R=R, C=C, seed=6)
+        A = sp.bsr_matrix(ref)
+        x = np.random.default_rng(7).random(ref.shape[1])
+        out = A @ rnp.array(x)
+        np.testing.assert_allclose(out.to_numpy(), ref @ x, rtol=1e-12)
+
+    def test_uses_generated_kernel(self, rt):
+        ref = random_bsr(6, 6, seed=8)
+        A = sp.bsr_matrix(ref)
+        A @ rnp.ones(ref.shape[1])
+        launched = [k for k in rt.profiler.task_counts if "bsr" in k]
+        assert launched, "BSR SpMV must dispatch through the DISTAL registry"
+
+    def test_empty_block_rows(self, rt):
+        dense = np.zeros((6, 6))
+        dense[0:2, 2:4] = 1.0  # only the first block row is populated
+        ref = sps.bsr_matrix(sps.csr_matrix(dense), blocksize=(2, 2))
+        A = sp.bsr_matrix(ref)
+        x = np.arange(6.0)
+        np.testing.assert_allclose((A @ rnp.array(x)).to_numpy(), dense @ x)
+
+    def test_complex(self, rt):
+        ref = random_bsr(5, 5, R=2, C=2, seed=9)
+        A = sp.bsr_matrix(ref)
+        x = np.random.default_rng(10).random(10) + 1j
+        out = A @ rnp.array(x)
+        np.testing.assert_allclose(out.to_numpy(), ref @ x, rtol=1e-12)
+
+
+class TestValueOps:
+    def test_scale(self, rt):
+        ref = random_bsr(4, 4, seed=11)
+        A = sp.bsr_matrix(ref)
+        np.testing.assert_allclose((2.0 * A).toarray(), 2 * ref.toarray())
+
+    def test_copy_and_astype(self, rt):
+        A = sp.bsr_matrix(random_bsr(4, 4, seed=12))
+        assert A.copy().nnz == A.nnz
+        assert A.astype(np.complex128).dtype == np.complex128
+
+    def test_sum_and_diagonal_via_csr(self, rt):
+        ref = random_bsr(4, 4, R=2, C=2, seed=13)
+        A = sp.bsr_matrix(ref)
+        assert float(A.sum()) == pytest.approx(ref.toarray().sum())
+        np.testing.assert_allclose(
+            A.diagonal().to_numpy(), ref.tocsr().diagonal(), rtol=1e-12
+        )

@@ -1,0 +1,123 @@
+"""Construction routines against scipy.sparse equivalents."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.sparse as sp
+
+
+class TestEyeDiags:
+    def test_eye_default_dia(self, rt):
+        A = sp.eye(5)
+        assert A.format == "dia"
+        np.testing.assert_allclose(A.toarray(), np.eye(5))
+
+    def test_eye_formats(self, rt):
+        for fmt in ("csr", "csc", "coo"):
+            A = sp.eye(4, format=fmt)
+            assert A.format == fmt
+            np.testing.assert_allclose(A.toarray(), np.eye(4))
+
+    def test_eye_offset_and_rect(self, rt):
+        np.testing.assert_allclose(
+            sp.eye(4, 6, k=2).toarray(), sps.eye(4, 6, k=2).toarray()
+        )
+        np.testing.assert_allclose(
+            sp.eye(5, 3, k=-1).toarray(), sps.eye(5, 3, k=-1).toarray()
+        )
+
+    def test_identity(self, rt):
+        np.testing.assert_allclose(sp.identity(3).toarray(), np.eye(3))
+
+    def test_diags_single(self, rt):
+        d = np.arange(1.0, 5.0)
+        np.testing.assert_allclose(
+            sp.diags(d).toarray(), sps.diags(d).toarray()
+        )
+
+    def test_diags_multiple(self, rt):
+        diagonals = [np.ones(4), 2 * np.ones(3), 3 * np.ones(3)]
+        offsets = [0, 1, -1]
+        np.testing.assert_allclose(
+            sp.diags(diagonals, offsets).toarray(),
+            sps.diags(diagonals, offsets).toarray(),
+        )
+
+    def test_diags_poisson_stencil(self, rt):
+        n = 8
+        ours = sp.diags(
+            [2 * np.ones(n), -np.ones(n - 1), -np.ones(n - 1)], [0, 1, -1],
+            format="csr",
+        )
+        ref = sps.diags(
+            [2 * np.ones(n), -np.ones(n - 1), -np.ones(n - 1)], [0, 1, -1]
+        )
+        np.testing.assert_allclose(ours.toarray(), ref.toarray())
+
+    def test_diags_mismatched_length_raises(self, rt):
+        with pytest.raises(ValueError):
+            sp.diags([np.ones(3)], [0], shape=(5, 5))
+
+
+class TestRandom:
+    def test_density_and_shape(self, rt):
+        A = sp.random(40, 30, density=0.1, random_state=0)
+        assert A.shape == (40, 30)
+        assert A.nnz == int(round(0.1 * 40 * 30))
+
+    def test_format(self, rt):
+        assert sp.random(10, 10, format="csr", random_state=1).format == "csr"
+        assert sp.rand(10, 10, 0.05, format="coo", random_state=1).format == "coo"
+
+    def test_reproducible(self, rt):
+        a = sp.random(12, 12, density=0.2, random_state=7).toarray()
+        b = sp.random(12, 12, density=0.2, random_state=7).toarray()
+        np.testing.assert_array_equal(a, b)
+
+    def test_data_rvs(self, rt):
+        A = sp.random(
+            10, 10, density=0.2, random_state=3, data_rvs=lambda k: np.full(k, 5.0)
+        )
+        vals = A.data.to_numpy()
+        assert (vals == 5.0).all()
+
+    def test_bad_density(self, rt):
+        with pytest.raises(ValueError):
+            sp.random(5, 5, density=1.5)
+
+
+class TestKronStack:
+    def test_kron(self, rt):
+        a = sps.random(4, 3, density=0.4, random_state=np.random.default_rng(0))
+        b = sps.random(3, 2, density=0.5, random_state=np.random.default_rng(1))
+        C = sp.kron(sp.csr_matrix(a.tocsr()), sp.csr_matrix(b.tocsr()))
+        np.testing.assert_allclose(C.toarray(), sps.kron(a, b).toarray(), rtol=1e-12)
+
+    def test_kron_identity_structure(self, rt):
+        """The standard 2-D Poisson construction: kron(I, T) + kron(T, I)."""
+        n = 4
+        T = sp.diags([2 * np.ones(n), -np.ones(n - 1), -np.ones(n - 1)], [0, 1, -1])
+        eye = sp.eye(n)
+        A = (sp.kron(eye, T) + sp.kron(T, eye)).tocsr()
+        Ts = sps.diags([2 * np.ones(n), -np.ones(n - 1), -np.ones(n - 1)], [0, 1, -1])
+        ref = sps.kron(sps.eye(n), Ts) + sps.kron(Ts, sps.eye(n))
+        np.testing.assert_allclose(A.toarray(), ref.toarray())
+
+    def test_vstack(self, rt):
+        a = sps.random(3, 4, density=0.5, random_state=np.random.default_rng(2))
+        b = sps.random(2, 4, density=0.5, random_state=np.random.default_rng(3))
+        C = sp.vstack([sp.csr_matrix(a.tocsr()), sp.csr_matrix(b.tocsr())])
+        np.testing.assert_allclose(C.toarray(), sps.vstack([a, b]).toarray())
+
+    def test_hstack(self, rt):
+        a = sps.random(3, 4, density=0.5, random_state=np.random.default_rng(4))
+        b = sps.random(3, 2, density=0.5, random_state=np.random.default_rng(5))
+        C = sp.hstack([sp.csr_matrix(a.tocsr()), sp.csr_matrix(b.tocsr())])
+        np.testing.assert_allclose(C.toarray(), sps.hstack([a, b]).toarray())
+
+    def test_stack_shape_checks(self, rt):
+        with pytest.raises(ValueError):
+            sp.vstack([sp.eye(3), sp.eye(4)])
+        with pytest.raises(ValueError):
+            sp.hstack([sp.eye(3), sp.eye(4)])

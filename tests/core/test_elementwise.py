@@ -1,0 +1,159 @@
+"""Element-wise sparse algebra (two-pass union/intersection kernels)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.numeric as rnp
+import repro.sparse as sp
+
+from tests.core.conftest import random_scipy_csr
+
+
+class TestAdd:
+    def test_add_matches_scipy(self, rt):
+        a = random_scipy_csr(15, 12, density=0.25, seed=1)
+        b = random_scipy_csr(15, 12, density=0.25, seed=2)
+        C = sp.csr_matrix(a) + sp.csr_matrix(b)
+        np.testing.assert_allclose(C.toarray(), (a + b).toarray(), rtol=1e-12)
+
+    def test_result_is_canonical(self, rt):
+        a = random_scipy_csr(10, 10, density=0.3, seed=3)
+        b = random_scipy_csr(10, 10, density=0.3, seed=4)
+        C = sp.csr_matrix(a) + sp.csr_matrix(b)
+        ref = (a + b).tocsr()
+        ref.sum_duplicates()
+        np.testing.assert_array_equal(C.indptr, ref.indptr)
+        np.testing.assert_array_equal(C.indices, ref.indices)
+
+    def test_sub(self, rt):
+        a = random_scipy_csr(10, 10, seed=5)
+        b = random_scipy_csr(10, 10, seed=6)
+        C = sp.csr_matrix(a) - sp.csr_matrix(b)
+        np.testing.assert_allclose(C.toarray(), (a - b).toarray(), rtol=1e-12)
+
+    def test_add_mixed_formats(self, rt):
+        a = random_scipy_csr(8, 8, seed=7)
+        A = sp.csr_matrix(a)
+        E = sp.eye(8)  # DIA
+        C = A + E
+        np.testing.assert_allclose(C.toarray(), a.toarray() + np.eye(8), rtol=1e-12)
+
+    def test_add_with_transpose(self, rt):
+        """The Fig. 1 symmetrization: 0.5 * (A + A.T)."""
+        a = random_scipy_csr(10, 10, seed=8)
+        A = sp.csr_matrix(a)
+        S = 0.5 * (A + A.T)
+        np.testing.assert_allclose(
+            S.toarray(), 0.5 * (a.toarray() + a.toarray().T), rtol=1e-12
+        )
+        np.testing.assert_allclose(S.toarray(), S.toarray().T)
+
+    def test_add_zero_scalar_is_copy(self, rt):
+        a = random_scipy_csr(5, 5, seed=9)
+        A = sp.csr_matrix(a)
+        np.testing.assert_allclose((A + 0).toarray(), a.toarray())
+
+    def test_shape_mismatch(self, rt):
+        with pytest.raises(ValueError):
+            sp.eye(3, format="csr") + sp.eye(4, format="csr")
+
+    def test_disjoint_structures(self, rt):
+        a = sps.csr_matrix(np.diag([1.0, 2.0, 3.0]))
+        b = sps.csr_matrix(np.array([[0, 1.0, 0], [0, 0, 1.0], [0, 0, 0]]))
+        C = sp.csr_matrix(a) + sp.csr_matrix(b)
+        assert C.nnz == 5
+        np.testing.assert_allclose(C.toarray(), (a + b).toarray())
+
+    def test_cancellation_keeps_explicit_zero(self, rt):
+        """Like SciPy, structural union keeps entries that sum to zero."""
+        a = sps.csr_matrix(np.array([[1.0, 0], [0, 0]]))
+        b = sps.csr_matrix(np.array([[-1.0, 0], [0, 2.0]]))
+        C = sp.csr_matrix(a) + sp.csr_matrix(b)
+        assert C.nnz == (a + b).nnz + 1  # scipy prunes the explicit zero
+        np.testing.assert_allclose(C.toarray(), (a + b).toarray())
+
+
+class TestMultiply:
+    def test_hadamard_matches_scipy(self, rt):
+        a = random_scipy_csr(12, 10, density=0.35, seed=10)
+        b = random_scipy_csr(12, 10, density=0.35, seed=11)
+        C = sp.csr_matrix(a).multiply(sp.csr_matrix(b))
+        np.testing.assert_allclose(C.toarray(), a.multiply(b).toarray(), rtol=1e-12)
+
+    def test_hadamard_structure_is_intersection(self, rt):
+        a = sps.csr_matrix(np.array([[1.0, 2.0], [0, 3.0]]))
+        b = sps.csr_matrix(np.array([[4.0, 0], [5.0, 6.0]]))
+        C = sp.csr_matrix(a).multiply(sp.csr_matrix(b))
+        assert C.nnz == 2  # (0,0) and (1,1)
+
+    def test_multiply_scalar(self, rt):
+        a = random_scipy_csr(6, 6, seed=12)
+        np.testing.assert_allclose(
+            sp.csr_matrix(a).multiply(3.0).toarray(), (a * 3.0).toarray()
+        )
+
+    def test_multiply_dense_full(self, rt):
+        a = random_scipy_csr(8, 6, seed=13)
+        D = np.random.default_rng(14).random((8, 6))
+        C = sp.csr_matrix(a).multiply(rnp.array(D))
+        np.testing.assert_allclose(C.toarray(), a.multiply(D).toarray(), rtol=1e-12)
+
+    def test_multiply_dense_row_vector(self, rt):
+        a = random_scipy_csr(8, 6, seed=15)
+        v = np.random.default_rng(16).random(6)
+        C = sp.csr_matrix(a).multiply(rnp.array(v))
+        np.testing.assert_allclose(C.toarray(), a.multiply(v).toarray(), rtol=1e-12)
+
+
+class TestMaxMin:
+    def test_maximum(self, rt):
+        a = random_scipy_csr(9, 9, seed=17)
+        b = random_scipy_csr(9, 9, seed=18)
+        C = sp.csr_matrix(a).maximum(sp.csr_matrix(b))
+        np.testing.assert_allclose(C.toarray(), a.maximum(b).toarray(), rtol=1e-12)
+
+    def test_minimum(self, rt):
+        a = -random_scipy_csr(9, 9, seed=19)
+        b = -random_scipy_csr(9, 9, seed=20)
+        C = sp.csr_matrix(a).minimum(sp.csr_matrix(b))
+        np.testing.assert_allclose(C.toarray(), a.minimum(b).toarray(), rtol=1e-12)
+
+
+class TestComplex:
+    def test_complex_add(self, rt):
+        a = random_scipy_csr(8, 8, seed=21, dtype=np.complex128)
+        b = random_scipy_csr(8, 8, seed=22)
+        C = sp.csr_matrix(a) + sp.csr_matrix(b)
+        assert C.dtype == np.complex128
+        np.testing.assert_allclose(C.toarray(), (a + b.astype(np.complex128)).toarray())
+
+    def test_complex_hadamard(self, rt):
+        a = random_scipy_csr(8, 8, seed=23, dtype=np.complex128)
+        b = random_scipy_csr(8, 8, seed=24, dtype=np.complex128)
+        C = sp.csr_matrix(a).multiply(sp.csr_matrix(b))
+        np.testing.assert_allclose(C.toarray(), a.multiply(b).toarray(), rtol=1e-12)
+
+
+class TestAddDense:
+    def test_matches_scipy(self, rt):
+        a = random_scipy_csr(9, 7, density=0.3, seed=30)
+        D = np.random.default_rng(31).random((9, 7))
+        out = sp.csr_matrix(a) + rnp.array(D)
+        np.testing.assert_allclose(out.to_numpy(), (a + D), rtol=1e-12)
+
+    def test_radd(self, rt):
+        a = random_scipy_csr(6, 6, seed=32)
+        D = np.random.default_rng(33).random((6, 6))
+        out = rnp.array(D) + sp.csr_matrix(a)
+        np.testing.assert_allclose(out.to_numpy(), a + D, rtol=1e-12)
+
+    def test_numpy_operand(self, rt):
+        a = random_scipy_csr(5, 5, seed=34)
+        D = np.ones((5, 5))
+        out = sp.csr_matrix(a) + D
+        np.testing.assert_allclose(out.to_numpy(), a.toarray() + 1)
+
+    def test_shape_mismatch(self, rt):
+        with pytest.raises(ValueError):
+            sp.eye(3, format="csr") + rnp.ones((4, 3))

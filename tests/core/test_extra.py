@@ -1,0 +1,115 @@
+"""Tests for the extended SciPy-Sparse surface (tril/triu/find/etc.)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+import scipy.sparse.linalg as spla
+
+import repro.numeric as rnp
+import repro.sparse as sp
+
+from tests.core.conftest import random_scipy_csr
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("k", [-2, 0, 1])
+    def test_tril_matches_scipy(self, rt, k):
+        ref = random_scipy_csr(12, 10, density=0.4, seed=1)
+        out = sp.tril(sp.csr_matrix(ref), k=k)
+        np.testing.assert_allclose(out.toarray(), sps.tril(ref, k=k).toarray())
+
+    @pytest.mark.parametrize("k", [-1, 0, 2])
+    def test_triu_matches_scipy(self, rt, k):
+        ref = random_scipy_csr(10, 12, density=0.4, seed=2)
+        out = sp.triu(sp.csr_matrix(ref), k=k)
+        np.testing.assert_allclose(out.toarray(), sps.triu(ref, k=k).toarray())
+
+    def test_tril_plus_triu_reconstructs(self, rt):
+        ref = random_scipy_csr(9, 9, density=0.5, seed=3)
+        A = sp.csr_matrix(ref)
+        lower = sp.tril(A, k=-1)
+        upper = sp.triu(A, k=0)
+        np.testing.assert_allclose((lower + upper).toarray(), ref.toarray())
+
+    def test_format_argument(self, rt):
+        A = sp.csr_matrix(random_scipy_csr(6, 6, seed=4))
+        assert sp.tril(A, format="coo").format == "coo"
+
+
+class TestFindCount:
+    def test_find_matches_scipy(self, rt):
+        ref = random_scipy_csr(8, 7, density=0.3, seed=5)
+        r, c, v = sp.find(sp.csr_matrix(ref))
+        rr, cc, vv = sps.find(ref)
+        order = np.lexsort((c, r))
+        order_ref = np.lexsort((cc, rr))
+        np.testing.assert_array_equal(r[order], rr[order_ref])
+        np.testing.assert_array_equal(c[order], cc[order_ref])
+        np.testing.assert_allclose(v[order], vv[order_ref])
+
+    def test_count_nonzero_excludes_explicit_zeros(self, rt):
+        a = sps.csr_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        A = sp.csr_matrix(a)
+        Z = A - A  # same structure, all-zero values
+        assert sp.count_nonzero(A) == 2
+        assert sp.count_nonzero(Z) == 0
+
+
+class TestSetdiag:
+    def test_replaces_diagonal(self, rt):
+        ref = random_scipy_csr(8, 8, density=0.4, seed=6)
+        A = sp.csr_matrix(ref)
+        out = sp.setdiag(A, 9.0)
+        expected = ref.toarray().copy()
+        np.fill_diagonal(expected, 9.0)
+        np.testing.assert_allclose(out.toarray(), expected)
+
+    def test_vector_diagonal(self, rt):
+        ref = random_scipy_csr(6, 6, density=0.4, seed=7)
+        vals = np.arange(1.0, 7.0)
+        out = sp.setdiag(sp.csr_matrix(ref), vals)
+        np.testing.assert_allclose(np.diag(out.toarray()), vals)
+
+
+class TestConstructors:
+    def test_spdiags_matches_scipy(self, rt):
+        data = np.arange(12.0).reshape(3, 4)
+        offsets = [-1, 0, 1]
+        ours = sp.spdiags(data, offsets, 4, 4)
+        ref = sps.spdiags(data, offsets, 4, 4)
+        np.testing.assert_allclose(ours.toarray(), ref.toarray())
+
+    def test_block_diag(self, rt):
+        a = random_scipy_csr(3, 4, seed=8)
+        b = random_scipy_csr(2, 2, seed=9)
+        ours = sp.block_diag([sp.csr_matrix(a), sp.csr_matrix(b)])
+        ref = sps.block_diag([a, b])
+        np.testing.assert_allclose(ours.toarray(), ref.toarray())
+        assert ours.shape == (5, 6)
+
+
+class TestExpmMultiply:
+    def test_matches_scipy(self, rt):
+        rng = np.random.default_rng(10)
+        a = sps.random(24, 24, density=0.2, random_state=rng, format="csr")
+        a = 0.1 * (a + a.T)
+        v = rng.random(24)
+        ours = sp.linalg.expm_multiply(sp.csr_matrix(a.tocsr()), rnp.array(v))
+        ref = spla.expm_multiply(a.tocsr(), v)
+        np.testing.assert_allclose(ours.to_numpy(), ref, rtol=1e-8)
+
+    def test_scaled_time(self, rt):
+        a = sps.eye(5).tocsr() * 0.5
+        v = np.ones(5)
+        ours = sp.linalg.expm_multiply(sp.csr_matrix(a), rnp.array(v), t=2.0)
+        np.testing.assert_allclose(ours.to_numpy(), np.exp(1.0) * v, rtol=1e-10)
+
+    def test_identity_action(self, rt):
+        z = sp.csr_matrix((4, 4))
+        v = rnp.array(np.arange(4.0))
+        out = sp.linalg.expm_multiply(z, v)
+        np.testing.assert_allclose(out.to_numpy(), np.arange(4.0))
+
+    def test_shape_checks(self, rt):
+        with pytest.raises(ValueError):
+            sp.linalg.expm_multiply(sp.eye(3, 4, format="csr").tocsr(), rnp.ones(4))

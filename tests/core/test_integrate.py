@@ -1,0 +1,119 @@
+"""Runge-Kutta integrators against analytic solutions and SciPy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.numeric as rnp
+import repro.sparse as sp
+from repro.integrate import solve_ivp
+
+
+class TestRK45:
+    def test_exponential_decay(self, rt):
+        y0 = rnp.array(np.array([1.0, 2.0, 3.0]))
+        res = solve_ivp(lambda t, y: y * -0.5, (0.0, 2.0), y0, method="RK45", rtol=1e-8, atol=1e-10)
+        assert res.success
+        expected = np.array([1.0, 2.0, 3.0]) * np.exp(-1.0)
+        np.testing.assert_allclose(res.y.to_numpy(), expected, rtol=1e-6)
+
+    def test_adapts_step(self, rt):
+        y0 = rnp.ones(2)
+        res = solve_ivp(lambda t, y: y * -1.0, (0.0, 1.0), y0, method="RK45", rtol=1e-10, atol=1e-12)
+        loose = solve_ivp(lambda t, y: y * -1.0, (0.0, 1.0), y0, method="RK45", rtol=1e-3, atol=1e-4)
+        assert res.nsteps > loose.nsteps
+
+    def test_t_eval_records(self, rt):
+        y0 = rnp.ones(2)
+        res = solve_ivp(
+            lambda t, y: y * -1.0,
+            (0.0, 1.0),
+            y0,
+            method="RK45",
+            t_eval=[0.5, 1.0],
+            rtol=1e-8,
+        )
+        assert len(res.t_eval) == 2
+        assert res.t_eval[0] >= 0.5
+
+    def test_bad_span(self, rt):
+        with pytest.raises(ValueError):
+            solve_ivp(lambda t, y: y, (1.0, 0.0), rnp.ones(2))
+
+
+class TestFixedStep:
+    def test_rk4_order(self, rt):
+        """Halving the step cuts the error by ~2^4."""
+        y0 = rnp.array(np.array([1.0]))
+        errs = []
+        for h in (0.1, 0.05):
+            res = solve_ivp(lambda t, y: y * -1.0, (0.0, 1.0), y0, method="RK4", step=h)
+            errs.append(abs(res.y.to_numpy()[0] - np.exp(-1.0)))
+        ratio = errs[0] / errs[1]
+        assert 10 < ratio < 25
+
+    def test_gbs8_high_accuracy(self, rt):
+        y0 = rnp.array(np.array([1.0]))
+        res = solve_ivp(lambda t, y: y * -1.0, (0.0, 1.0), y0, method="GBS8", step=0.25)
+        assert abs(res.y.to_numpy()[0] - np.exp(-1.0)) < 1e-10
+
+    def test_gbs8_order_exceeds_rk4(self, rt):
+        y0 = rnp.array(np.array([1.0]))
+        errs = []
+        for h in (0.5, 0.25):
+            res = solve_ivp(lambda t, y: y * -1.0, (0.0, 1.0), y0, method="GBS8", step=h)
+            errs.append(abs(res.y.to_numpy()[0] - np.exp(-1.0)))
+        # ~8th order: halving h should shrink error by ~2^8; allow slack.
+        assert errs[0] / max(errs[1], 1e-16) > 50
+
+    def test_fixed_step_requires_step(self, rt):
+        with pytest.raises(ValueError):
+            solve_ivp(lambda t, y: y, (0.0, 1.0), rnp.ones(2), method="RK4")
+
+    def test_unknown_method(self, rt):
+        with pytest.raises(ValueError):
+            solve_ivp(lambda t, y: y, (0.0, 1.0), rnp.ones(2), method="EULER")
+
+
+class TestSchrodinger:
+    def test_unitary_evolution_preserves_norm(self, rt):
+        """i dψ/dt = H ψ with Hermitian sparse H: norm is conserved."""
+        rng = np.random.default_rng(0)
+        n = 16
+        h = sps.random(n, n, density=0.3, random_state=rng).toarray()
+        H = sps.csr_matrix((h + h.T) / 2)
+        Hd = sp.csr_matrix(H)
+        psi0 = rng.random(n) + 1j * rng.random(n)
+        psi0 /= np.linalg.norm(psi0)
+        psi = rnp.array(psi0)
+        res = solve_ivp(
+            lambda t, y: (Hd @ y) * (-1j),
+            (0.0, 1.0),
+            psi,
+            method="GBS8",
+            step=0.1,
+        )
+        final = res.y.to_numpy()
+        assert abs(np.linalg.norm(final) - 1.0) < 1e-8
+        # Compare against dense matrix exponential.
+        from scipy.linalg import expm
+
+        expected = expm(-1j * H.toarray()) @ psi0
+        np.testing.assert_allclose(final, expected, atol=1e-7)
+
+    def test_energy_conserved(self, rt):
+        rng = np.random.default_rng(1)
+        n = 12
+        h = rng.random((n, n))
+        H = sps.csr_matrix((h + h.T) / 2)
+        Hd = sp.csr_matrix(H)
+        psi0 = rng.random(n) + 0j
+        psi0 /= np.linalg.norm(psi0)
+        e0 = np.vdot(psi0, H @ psi0).real
+        res = solve_ivp(
+            lambda t, y: (Hd @ y) * (-1j), (0.0, 0.5), rnp.array(psi0),
+            method="GBS8", step=0.05,
+        )
+        final = res.y.to_numpy()
+        e1 = np.vdot(final, H @ final).real
+        assert abs(e1 - e0) < 1e-9

@@ -1,0 +1,96 @@
+"""Persistence (npz interchange with SciPy) and matrix slicing."""
+
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.sparse as sp
+
+from tests.core.conftest import random_scipy_csr
+
+
+class TestNpz:
+    @pytest.mark.parametrize("fmt", ["csr", "csc", "coo", "dia"])
+    def test_roundtrip(self, rt, tmp_path, fmt):
+        if fmt == "dia":
+            ref = sps.diags(
+                [np.arange(1.0, 9.0), np.ones(7)], [0, 1]
+            ).todia()
+            A = sp.dia_matrix(ref)
+        else:
+            ref = random_scipy_csr(9, 7, seed=1).asformat(fmt)
+            A = getattr(sp, f"{fmt}_matrix")(ref)
+        path = os.fspath(tmp_path / "m.npz")
+        sp.save_npz(path, A)
+        B = sp.load_npz(path)
+        assert B.format == fmt
+        np.testing.assert_allclose(B.toarray(), ref.toarray())
+
+    def test_scipy_reads_our_files(self, rt, tmp_path):
+        ref = random_scipy_csr(8, 8, seed=2)
+        path = os.fspath(tmp_path / "m.npz")
+        sp.save_npz(path, sp.csr_matrix(ref))
+        loaded = sps.load_npz(path)
+        np.testing.assert_allclose(loaded.toarray(), ref.toarray())
+
+    def test_we_read_scipy_files(self, rt, tmp_path):
+        ref = random_scipy_csr(8, 8, seed=3)
+        path = os.fspath(tmp_path / "m.npz")
+        sps.save_npz(path, ref)
+        loaded = sp.load_npz(path)
+        np.testing.assert_allclose(loaded.toarray(), ref.toarray())
+
+    def test_uncompressed(self, rt, tmp_path):
+        ref = random_scipy_csr(5, 5, seed=4)
+        path = os.fspath(tmp_path / "m.npz")
+        sp.save_npz(path, sp.csr_matrix(ref), compressed=False)
+        np.testing.assert_allclose(sp.load_npz(path).toarray(), ref.toarray())
+
+    def test_unsupported_format_raises(self, rt, tmp_path):
+        A = sp.bsr_matrix(random_scipy_csr(4, 4, seed=5), blocksize=(2, 2))
+        with pytest.raises(NotImplementedError):
+            sp.save_npz(os.fspath(tmp_path / "m.npz"), A)
+
+
+class TestSlicing:
+    def test_element_access(self, rt):
+        ref = random_scipy_csr(8, 6, density=0.4, seed=6)
+        A = sp.csr_matrix(ref)
+        for i in range(8):
+            for j in range(6):
+                assert A[i, j] == pytest.approx(ref[i, j])
+
+    def test_element_out_of_range(self, rt):
+        A = sp.eye(3, format="csr")
+        with pytest.raises(IndexError):
+            A[3, 0]
+
+    def test_column_slice(self, rt):
+        ref = random_scipy_csr(10, 12, density=0.3, seed=7)
+        A = sp.csr_matrix(ref)
+        out = A[:, 3:9]
+        assert out.format == "csc"
+        np.testing.assert_allclose(out.toarray(), ref[:, 3:9].toarray())
+
+    def test_row_slice_tuple_form(self, rt):
+        ref = random_scipy_csr(10, 5, seed=8)
+        A = sp.csr_matrix(ref)
+        np.testing.assert_allclose(
+            A[2:7, :].toarray(), ref[2:7, :].toarray()
+        )
+
+    def test_csc_column_slice_shares_values(self, rt):
+        ref = random_scipy_csr(8, 8, seed=9).tocsc()
+        A = sp.csc_matrix(ref)
+        sub = A[:, 1:5]
+        assert sub.vals is A.vals
+        np.testing.assert_allclose(sub.toarray(), ref[:, 1:5].toarray())
+
+    def test_strided_rejected(self, rt):
+        A = sp.csr_matrix(random_scipy_csr(8, 8, seed=10))
+        with pytest.raises(NotImplementedError):
+            A[::2]
+        with pytest.raises(NotImplementedError):
+            A[:, ::2]

@@ -1,0 +1,118 @@
+"""LSQR and triangular solves against SciPy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+import scipy.sparse.linalg as spla
+
+import repro.numeric as rnp
+import repro.sparse as sp
+
+
+class TestLSQR:
+    def test_consistent_square_system(self, rt):
+        rng = np.random.default_rng(0)
+        a = (sps.random(20, 20, density=0.3, random_state=rng) + 20 * sps.eye(20)).tocsr()
+        x_true = rng.standard_normal(20)
+        b = a @ x_true
+        x, istop, itn, rnorm = sp.linalg.lsqr(
+            sp.csr_matrix(a), rnp.array(b), atol=1e-12, btol=1e-12
+        )
+        assert istop in (1, 2)
+        np.testing.assert_allclose(x.to_numpy(), x_true, rtol=1e-6, atol=1e-8)
+
+    def test_overdetermined_least_squares(self, rt):
+        rng = np.random.default_rng(1)
+        a = sps.random(40, 10, density=0.5, random_state=rng, format="csr")
+        b = rng.standard_normal(40)
+        x, istop, itn, rnorm = sp.linalg.lsqr(
+            sp.csr_matrix(a), rnp.array(b), iter_lim=400
+        )
+        ref = spla.lsqr(a, b)[0]
+        np.testing.assert_allclose(x.to_numpy(), ref, rtol=1e-3, atol=1e-5)
+
+    def test_residual_reported(self, rt):
+        rng = np.random.default_rng(2)
+        a = sps.random(25, 8, density=0.5, random_state=rng, format="csr")
+        b = rng.standard_normal(25)
+        x, istop, itn, rnorm = sp.linalg.lsqr(sp.csr_matrix(a), rnp.array(b))
+        actual = np.linalg.norm(a @ x.to_numpy() - b)
+        assert rnorm == pytest.approx(actual, rel=1e-3)
+
+    def test_x0_warm_start(self, rt):
+        rng = np.random.default_rng(3)
+        a = (sps.random(16, 16, density=0.4, random_state=rng) + 16 * sps.eye(16)).tocsr()
+        x_true = rng.standard_normal(16)
+        b = a @ x_true
+        x, istop, itn, _ = sp.linalg.lsqr(
+            sp.csr_matrix(a), rnp.array(b), x0=rnp.array(x_true), atol=1e-12, btol=1e-12
+        )
+        assert itn <= 2  # already at the solution
+
+    def test_iteration_limit(self, rt):
+        rng = np.random.default_rng(4)
+        a = sps.random(30, 30, density=0.2, random_state=rng, format="csr")
+        a = a + sps.eye(30) * 0.01
+        b = rng.standard_normal(30)
+        x, istop, itn, _ = sp.linalg.lsqr(
+            sp.csr_matrix(a), rnp.array(b), atol=0, btol=0, iter_lim=3
+        )
+        assert istop == 7
+        assert itn == 3
+
+    def test_shape_check(self, rt):
+        with pytest.raises(ValueError):
+            sp.linalg.lsqr(sp.eye(4, format="csr"), rnp.ones(5))
+
+    def test_zero_rhs(self, rt):
+        A = sp.eye(6, format="csr")
+        x, istop, itn, rnorm = sp.linalg.lsqr(A, rnp.zeros(6))
+        assert itn == 0
+        np.testing.assert_allclose(x.to_numpy(), np.zeros(6))
+
+
+def make_triangular(n, lower, seed=0, unit=False):
+    rng = np.random.default_rng(seed)
+    base = sps.random(n, n, density=0.4, random_state=rng)
+    tri = sps.tril(base, k=-1) if lower else sps.triu(base, k=1)
+    diag = sps.eye(n) if unit else sps.diags(rng.random(n) + 1.0)
+    return (tri + diag).tocsr()
+
+
+class TestTriangularSolve:
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_matches_scipy(self, rt, lower):
+        L = make_triangular(18, lower, seed=5)
+        b = np.random.default_rng(6).random(18)
+        x = sp.linalg.spsolve_triangular(sp.csr_matrix(L), rnp.array(b), lower=lower)
+        ref = spla.spsolve_triangular(L, b, lower=lower)
+        np.testing.assert_allclose(x.to_numpy(), ref, rtol=1e-10)
+
+    def test_unit_diagonal(self, rt):
+        L = make_triangular(12, True, seed=7, unit=True)
+        # Zero out the stored unit diagonal to prove it is not read.
+        b = np.random.default_rng(8).random(12)
+        x = sp.linalg.spsolve_triangular(
+            sp.csr_matrix(L), rnp.array(b), lower=True, unit_diagonal=True
+        )
+        ref = spla.spsolve_triangular(L, b, lower=True, unit_diagonal=True)
+        np.testing.assert_allclose(x.to_numpy(), ref, rtol=1e-10)
+
+    def test_singular_raises(self, rt):
+        L = sps.csr_matrix(np.array([[1.0, 0.0], [3.0, 0.0]]))
+        with pytest.raises(np.linalg.LinAlgError):
+            sp.linalg.spsolve_triangular(sp.csr_matrix(L), rnp.ones(2))
+
+    def test_rectangular_rejected(self, rt):
+        with pytest.raises(ValueError):
+            sp.linalg.spsolve_triangular(
+                sp.eye(3, 4, format="csr").tocsr(), rnp.ones(3)
+            )
+
+    def test_solve_then_verify_distributed(self, rt):
+        """The solution composes with distributed ops afterwards."""
+        L = make_triangular(16, True, seed=9)
+        b = np.ones(16)
+        x = sp.linalg.spsolve_triangular(sp.csr_matrix(L), rnp.array(b))
+        resid = float(rnp.linalg.norm(sp.csr_matrix(L) @ x - rnp.array(b)))
+        assert resid < 1e-10

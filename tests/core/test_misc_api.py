@@ -1,0 +1,76 @@
+"""Odds and ends of the SciPy-compatible surface."""
+
+import numpy as np
+import pytest
+
+import repro.numeric as rnp
+import repro.sparse as sp
+
+from tests.core.conftest import random_scipy_csr
+
+
+class TestMiscSurface:
+    def test_repr(self, rt):
+        A = sp.eye(4, format="csr")
+        text = repr(A)
+        assert "4x4" in text and "CSR" in text and "4 stored" in text
+
+    def test_getnnz(self, rt):
+        A = sp.csr_matrix(random_scipy_csr(6, 6, seed=1))
+        assert A.getnnz() == A.nnz
+
+    def test_hermitian_transpose(self, rt):
+        ref = random_scipy_csr(5, 5, seed=2, dtype=np.complex128)
+        A = sp.csr_matrix(ref)
+        np.testing.assert_allclose(
+            A.H.toarray(), ref.conj().T.toarray(), rtol=1e-12
+        )
+
+    def test_mean_axis(self, rt):
+        ref = random_scipy_csr(6, 4, seed=3)
+        A = sp.csr_matrix(ref)
+        np.testing.assert_allclose(
+            A.mean(axis=1).to_numpy(),
+            np.asarray(ref.mean(axis=1)).ravel(),
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            A.mean(axis=0).to_numpy(),
+            np.asarray(ref.mean(axis=0)).ravel(),
+            rtol=1e-12,
+        )
+
+    def test_ndim(self, rt):
+        assert sp.eye(3).ndim == 2
+
+    def test_dot_method(self, rt):
+        ref = random_scipy_csr(5, 5, seed=4)
+        A = sp.csr_matrix(ref)
+        x = np.arange(5.0)
+        np.testing.assert_allclose(A.dot(rnp.array(x)).to_numpy(), ref @ x, rtol=1e-12)
+
+    def test_neg_and_div(self, rt):
+        ref = random_scipy_csr(5, 5, seed=5)
+        A = sp.csr_matrix(ref)
+        np.testing.assert_allclose((-A).toarray(), -ref.toarray())
+        np.testing.assert_allclose((A / 4.0).toarray(), ref.toarray() / 4.0)
+
+    def test_scale_by_deferred_scalar(self, rt):
+        """n * eye where n came out of a reduction (a Scalar)."""
+        n = rnp.sum(rnp.ones(8))  # deferred 8.0
+        A = sp.eye(8, format="csr") * n
+        np.testing.assert_allclose(A.toarray(), 8 * np.eye(8))
+
+    def test_asformat_identity(self, rt):
+        A = sp.eye(3, format="csr")
+        assert A.asformat("csr") is A
+
+    def test_version_attribute(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_divide_by_deferred_scalar(self, rt):
+        n = rnp.sum(rnp.ones(4))  # deferred 4.0
+        A = sp.eye(4, format="csr") / n
+        np.testing.assert_allclose(A.toarray(), np.eye(4) / 4.0)

@@ -1,0 +1,68 @@
+"""Preconditioner tests: Jacobi and SSOR accelerate CG."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.numeric as rnp
+import repro.sparse as sp
+from repro.apps.poisson import poisson2d_scipy
+
+
+def badly_scaled_spd(n_side=10, seed=0):
+    rng = np.random.default_rng(seed)
+    d = 10.0 ** rng.uniform(-3, 3, size=n_side * n_side)
+    ref = (sps.diags(d) @ poisson2d_scipy(n_side) @ sps.diags(d)).tocsr()
+    ref = 0.5 * (ref + ref.T)
+    row_sums = np.abs(ref).sum(axis=1).A.ravel()
+    return (ref + sps.diags(row_sums * 0.01)).tocsr()
+
+
+def cg_iterations(A, b, M=None, maxiter=3000):
+    count = [0]
+    x, info = sp.linalg.cg(
+        A, b, rtol=1e-8, maxiter=maxiter, M=M,
+        callback=lambda _: count.__setitem__(0, count[0] + 1),
+    )
+    return x, info, count[0]
+
+
+class TestJacobi:
+    def test_slashes_iterations_on_bad_scaling(self, rt):
+        ref = badly_scaled_spd()
+        A = sp.csr_matrix(ref)
+        b = rnp.ones(100)
+        _, _, plain = cg_iterations(A, b, maxiter=500)
+        M = sp.linalg.preconditioners.jacobi(A)
+        x, info, prec = cg_iterations(A, b, M=M)
+        assert info == 0
+        assert prec < plain / 4
+        np.testing.assert_allclose(ref @ x.to_numpy(), np.ones(100), atol=1e-5)
+
+    def test_requires_square(self, rt):
+        with pytest.raises(ValueError):
+            sp.linalg.preconditioners.jacobi(sp.eye(3, 4, format="csr").tocsr())
+
+
+class TestSSOR:
+    def test_converges_and_accelerates(self, rt):
+        ref = badly_scaled_spd(seed=1)
+        A = sp.csr_matrix(ref)
+        b = rnp.ones(100)
+        M = sp.linalg.preconditioners.ssor(A, omega=1.2)
+        x, info, iters = cg_iterations(A, b, M=M)
+        assert info == 0
+        assert iters < 60
+        np.testing.assert_allclose(ref @ x.to_numpy(), np.ones(100), atol=1e-5)
+
+    def test_omega_validation(self, rt):
+        A = sp.eye(4, format="csr").tocsr()
+        with pytest.raises(ValueError):
+            sp.linalg.preconditioners.ssor(A, omega=2.5)
+
+    def test_identity_matrix_is_fixed_point(self, rt):
+        A = sp.eye(8, format="csr").tocsr()
+        M = sp.linalg.preconditioners.ssor(A, omega=1.0)
+        r = rnp.array(np.arange(1.0, 9.0))
+        out = M.matvec(r)
+        np.testing.assert_allclose(out.to_numpy(), np.arange(1.0, 9.0), rtol=1e-12)

@@ -1,0 +1,78 @@
+"""Registry launcher error paths and dispatch behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import Store
+from repro.distal import get_registry
+from repro.distal.codegen import KernelSpec
+from repro.distal.formats import CSR, DIA
+from repro.distal.registry import launch
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+
+@pytest.fixture
+def rt():
+    machine = laptop()
+    runtime = Runtime(machine.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate())
+    with runtime_scope(runtime):
+        yield runtime
+
+
+class TestRegistry:
+    def test_unknown_statement(self):
+        with pytest.raises(KeyError):
+            get_registry().get("y(i)=nonsense", CSR, ProcessorKind.GPU)
+
+    def test_generated_count_tracks_cache(self):
+        reg = get_registry()
+        before = reg.generated_count()
+        reg.get("y(i)=A(i,j)*x(j)", CSR, ProcessorKind.CPU_CORE)
+        after = reg.generated_count()
+        assert after >= before
+
+    def test_missing_explicit_partition_rejected(self, rt):
+        spec = get_registry().get("y(i)=A(i,j)*x(j)", DIA, ProcessorKind.GPU)
+        stores = {
+            "y": Store.create((4,), np.float64, runtime=rt),
+            "data": Store.create((4, 1), np.float64, runtime=rt),
+            "offsets": Store.create((1,), np.int64, data=np.zeros(1, np.int64), runtime=rt),
+            "x": Store.create((4,), np.float64, runtime=rt),
+        }
+        with pytest.raises(ValueError, match="explicit partition"):
+            launch(spec, rt, stores)
+
+    def test_unknown_role_rejected(self, rt):
+        spec = KernelSpec(
+            name="bad",
+            kernel=lambda ctx: None,
+            cost=lambda ctx: (0.0, 0.0),
+            source="",
+            args=[("a", "banana")],
+            constraints=[],
+        )
+        store = Store.create((4,), np.float64, runtime=rt)
+        with pytest.raises(ValueError, match="unknown role"):
+            launch(spec, rt, {"a": store})
+
+    def test_unknown_constraint_rejected(self, rt):
+        spec = KernelSpec(
+            name="bad",
+            kernel=lambda ctx: None,
+            cost=lambda ctx: (0.0, 0.0),
+            source="",
+            args=[("a", "in")],
+            constraints=[("teleport", "a")],
+        )
+        store = Store.create((4,), np.float64, runtime=rt)
+        with pytest.raises(ValueError, match="unknown constraint"):
+            launch(spec, rt, {"a": store})
+
+    def test_sources_are_distinct_per_kind(self):
+        reg = get_registry()
+        gpu = reg.get("y(i)=A(i,j)*x(j)", CSR, ProcessorKind.GPU)
+        cpu = reg.get("y(i)=A(i,j)*x(j)", CSR, ProcessorKind.CPU_SOCKET)
+        assert gpu.name != cpu.name
+        assert gpu.source == cpu.source  # numerics identical; costs differ

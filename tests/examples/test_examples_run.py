@@ -1,0 +1,38 @@
+"""Every example script runs end-to-end (small arguments)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["--n", "256", "--iters", "20", "--procs", "2"]),
+    ("quickstart.py", ["--n", "128", "--iters", "10", "--scipy"]),
+    ("poisson_solvers.py", ["--k", "15", "--procs", "1", "2"]),
+    ("rydberg_simulation.py", ["--atoms", "8", "--procs", "2", "--t-final", "0.5"]),
+    (
+        "matrix_factorization.py",
+        ["--users", "200", "--items", "100", "--ratings", "4000",
+         "--epochs", "2", "--batch", "1024"],
+    ),
+    ("custom_operation.py", []),
+    ("pagerank.py", ["--nodes", "800", "--procs", "2"]),
+    ("weak_scaling_demo.py", ["--figure", "fig8"]),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args", CASES, ids=[f"{c[0]}:{' '.join(c[1])[:24]}" for c in CASES]
+)
+def test_example_runs(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their results"

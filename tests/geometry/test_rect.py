@@ -1,0 +1,153 @@
+"""Unit and property tests for rects and rect sets (1-D and 2-D)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, RectSet
+
+
+class TestRect:
+    def test_from_shape(self):
+        r = Rect.from_shape((3, 4))
+        assert r.lo == (0, 0) and r.hi == (3, 4)
+        assert r.volume() == 12
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((0,), (1, 2))
+
+    def test_empty_volume(self):
+        assert Rect((0, 0), (0, 5)).volume() == 0
+        assert Rect((3,), (3,)).is_empty()
+
+    def test_shape(self):
+        assert Rect((1, 2), (4, 8)).shape == (3, 6)
+
+    def test_contains(self):
+        big = Rect((0, 0), (10, 10))
+        assert big.contains(Rect((2, 3), (5, 6)))
+        assert not big.contains(Rect((2, 3), (5, 11)))
+        assert big.contains(Rect((0, 0), (0, 0)))  # empty
+
+    def test_contains_point(self):
+        r = Rect((0, 0), (3, 3))
+        assert r.contains_point((2, 2))
+        assert not r.contains_point((3, 0))
+
+    def test_intersect(self):
+        a = Rect((0, 0), (5, 5))
+        b = Rect((3, 3), (8, 8))
+        assert a.intersect(b) == Rect((3, 3), (5, 5))
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Rect((0,), (3,))
+        b = Rect((5,), (9,))
+        assert a.intersect(b).is_empty()
+
+    def test_union_hull(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((4, 4), (6, 6))
+        assert a.union_hull(b) == Rect((0, 0), (6, 6))
+
+    def test_subtract_center_2d(self):
+        outer = Rect((0, 0), (10, 10))
+        inner = Rect((3, 3), (7, 7))
+        pieces = outer.subtract(inner)
+        assert sum(p.volume() for p in pieces) == 100 - 16
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_subtract_no_overlap(self):
+        a = Rect((0,), (5,))
+        assert a.subtract(Rect((7,), (9,))) == [a]
+
+    def test_subtract_covering(self):
+        assert Rect((2,), (4,)).subtract(Rect((0,), (10,))) == []
+
+    def test_slices(self):
+        import numpy as np
+
+        arr = np.arange(20).reshape(4, 5)
+        r = Rect((1, 2), (3, 5))
+        assert arr[r.slices()].shape == (2, 3)
+
+    def test_shift(self):
+        assert Rect((1, 1), (2, 2)).shift((10, 0)) == Rect((11, 1), (12, 2))
+
+
+class TestRectSet:
+    def test_add_disjointness(self):
+        s = RectSet([Rect((0,), (5,)), Rect((3,), (8,))])
+        assert s.volume() == 8
+        rects = s.rects()
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_subtract(self):
+        s = RectSet.of(Rect((0,), (10,))).subtract(RectSet.of(Rect((2,), (4,))))
+        assert s.volume() == 8
+
+    def test_covers(self):
+        s = RectSet([Rect((0,), (5,)), Rect((5,), (10,))])
+        assert s.covers(RectSet.of(Rect((0,), (10,))))
+        assert not s.covers(RectSet.of(Rect((0,), (11,))))
+
+    def test_extensional_equality(self):
+        a = RectSet([Rect((0,), (3,)), Rect((3,), (6,))])
+        b = RectSet([Rect((0,), (6,))])
+        assert a == b
+
+    def test_hull(self):
+        s = RectSet([Rect((0, 0), (1, 1)), Rect((5, 5), (6, 6))])
+        assert s.hull() == Rect((0, 0), (6, 6))
+
+
+_coords = st.integers(min_value=0, max_value=12)
+
+
+@st.composite
+def _rects2d(draw):
+    x0, x1 = sorted((draw(_coords), draw(_coords)))
+    y0, y1 = sorted((draw(_coords), draw(_coords)))
+    return Rect((x0, y0), (x1, y1))
+
+
+def _points(s) -> set:
+    pts = set()
+    for rect in s:
+        for x in range(rect.lo[0], rect.hi[0]):
+            for y in range(rect.lo[1], rect.hi[1]):
+                pts.add((x, y))
+    return pts
+
+
+class TestRectSetProperties:
+    @given(st.lists(_rects2d(), max_size=6))
+    def test_union_matches_pointwise(self, rects):
+        s = RectSet(rects)
+        assert _points(s) == _points(rects)
+        assert s.volume() == len(_points(rects))
+
+    @given(st.lists(_rects2d(), max_size=5), st.lists(_rects2d(), max_size=5))
+    def test_subtract_matches_pointwise(self, xs, ys):
+        a, b = RectSet(xs), RectSet(ys)
+        assert _points(a.subtract(b)) == _points(a) - _points(b)
+
+    @given(st.lists(_rects2d(), max_size=5), st.lists(_rects2d(), max_size=5))
+    def test_intersect_matches_pointwise(self, xs, ys):
+        a, b = RectSet(xs), RectSet(ys)
+        assert _points(a.intersect(b)) == _points(a) & _points(b)
+
+    @given(_rects2d(), _rects2d())
+    def test_rect_subtract_partition(self, a, b):
+        """a ∩ b and a - b partition a."""
+        pieces = a.subtract(b)
+        total = sum(p.volume() for p in pieces) + a.intersect(b).volume()
+        assert total == a.volume()
+        for i, p in enumerate(pieces):
+            assert not p.overlaps(b)
+            for q in pieces[i + 1 :]:
+                assert not p.overlaps(q)

@@ -1,0 +1,15 @@
+import pytest
+
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+
+@pytest.fixture(params=[1, 2], ids=["p1", "p2"])
+def rt(request):
+    machine = laptop()
+    runtime = Runtime(
+        machine.scope(ProcessorKind.GPU, request.param), RuntimeConfig.legate()
+    )
+    with runtime_scope(runtime):
+        yield runtime

@@ -1,0 +1,86 @@
+"""Unit tests for validity tracking and copy derivation."""
+
+from repro.geometry import Rect
+from repro.legion.coherence import RegionCoherence
+
+
+def R(lo, hi):
+    return Rect((lo,), (hi,))
+
+
+class TestValidity:
+    def test_initially_all_missing(self):
+        coh = RegionCoherence()
+        assert coh.missing(0, R(0, 10)) == [R(0, 10)]
+
+    def test_mark_valid_then_no_missing(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 10), 1.0)
+        assert coh.missing(0, R(2, 8)) == []
+
+    def test_partial_validity(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 5), 1.0)
+        missing = coh.missing(0, R(0, 10))
+        assert missing == [R(5, 10)]
+
+    def test_ready_time_is_latest_overlapping(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 5), 1.0)
+        coh.mark_valid(0, R(5, 10), 3.0)
+        assert coh.ready_time(0, R(0, 10)) == 3.0
+        assert coh.ready_time(0, R(0, 4)) == 1.0
+
+    def test_write_invalidates_other_memories(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 10), 1.0)
+        coh.mark_valid(1, R(0, 10), 1.0)
+        coh.mark_written(1, R(3, 7), 2.0)
+        assert coh.missing(0, R(0, 10)) == [R(3, 7)]
+        assert coh.missing(1, R(0, 10)) == []
+
+    def test_write_updates_time_in_own_memory(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 10), 1.0)
+        coh.mark_written(0, R(0, 10), 5.0)
+        assert coh.ready_time(0, R(0, 10)) == 5.0
+
+    def test_mark_valid_replaces_overlap(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 10), 1.0)
+        coh.mark_valid(0, R(3, 7), 9.0)
+        # Old piece split, new piece has new time.
+        assert coh.ready_time(0, R(3, 7)) == 9.0
+        assert coh.ready_time(0, R(0, 3)) == 1.0
+
+
+class TestFindSource:
+    def test_single_source(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 10), 2.0)
+        frags = coh.find_source(R(2, 6), exclude=1)
+        assert frags == [(0, R(2, 6), 2.0)]
+
+    def test_excludes_destination(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 10), 2.0)
+        assert coh.find_source(R(0, 5), exclude=0) == []
+
+    def test_multiple_sources_cover(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, R(0, 5), 1.0)
+        coh.mark_valid(1, R(5, 10), 2.0)
+        frags = coh.find_source(R(3, 8), exclude=2)
+        covered = sorted((f[1].lo[0], f[1].hi[0]) for f in frags)
+        assert covered == [(3, 5), (5, 8)]
+
+    def test_never_written_data_transfers_nothing(self):
+        coh = RegionCoherence()
+        assert coh.find_source(R(0, 10), exclude=0) == []
+
+    def test_2d_fragments(self):
+        coh = RegionCoherence()
+        coh.mark_valid(0, Rect((0, 0), (4, 4)), 1.0)
+        frags = coh.find_source(Rect((2, 0), (6, 4)), exclude=1)
+        vol = sum(f[1].volume() for f in frags)
+        assert vol == 8  # only the valid half is transferable

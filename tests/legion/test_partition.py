@@ -1,0 +1,207 @@
+"""Unit and property tests for tilings and image partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, RectSet
+from repro.legion.partition import (
+    ImageByCoordinate,
+    ImageByRange,
+    Replicate,
+    Tiling,
+)
+from repro.legion.region import Region
+
+
+class TestTiling:
+    def test_even_split(self):
+        r = Region((10,), np.float64)
+        t = Tiling.create(r, 2)
+        assert t.rects() == [Rect((0,), (5,)), Rect((5,), (10,))]
+
+    def test_uneven_split_front_loaded(self):
+        r = Region((10,), np.float64)
+        t = Tiling.create(r, 3)
+        sizes = [rect.volume() for rect in t.rects()]
+        assert sizes == [4, 3, 3]
+
+    def test_more_colors_than_elements(self):
+        r = Region((2,), np.float64)
+        t = Tiling.create(r, 4)
+        assert sum(rect.volume() for rect in t.rects()) == 2
+        assert t.color_count == 4
+
+    def test_complete_and_disjoint(self):
+        r = Region((17,), np.float64)
+        t = Tiling.create(r, 5)
+        assert t.is_disjoint()
+        assert t.is_complete()
+
+    def test_2d_tiles_rows(self):
+        r = Region((10, 4), np.float64)
+        t = Tiling.create(r, 2)
+        assert t.rect(0) == Rect((0, 0), (5, 4))
+        assert t.rect(1) == Rect((5, 0), (10, 4))
+
+    def test_alignment_by_boundaries(self):
+        a = Region((10,), np.float64)
+        b = Region((10,), np.int64)
+        ta, tb = Tiling.create(a, 2), Tiling.create(b, 2)
+        assert ta.aligned_with(tb)
+        assert not ta.aligned_with(Tiling.create(a, 5))
+
+    def test_must_cover_dimension(self):
+        r = Region((10,), np.float64)
+        with pytest.raises(ValueError):
+            Tiling(r, [0, 5, 9])
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_property_complete_disjoint_balanced(self, n, colors):
+        r = Region((n,), np.float64)
+        t = Tiling.create(r, colors)
+        assert t.is_disjoint()
+        assert t.is_complete()
+        sizes = [rect.volume() for rect in t.rects()]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestReplicate:
+    def test_every_color_full(self):
+        r = Region((10,), np.float64)
+        p = Replicate(r, 3)
+        assert all(p.rect(c) == r.rect for c in range(3))
+        assert not p.is_disjoint() or p.color_count == 1
+
+
+class TestImageByRange:
+    def make_pos(self, ranges):
+        data = np.array(ranges, dtype=np.int64)
+        return Region((len(ranges), 2), np.int64, data=data)
+
+    def test_csr_style_ranges(self):
+        # Rows: [0,2) [2,5) | [5,5) [5,8)  -- second color has empty row.
+        pos = self.make_pos([(0, 2), (2, 5), (5, 5), (5, 8)])
+        crd = Region((8,), np.int64)
+        img = ImageByRange(pos, Tiling.create(pos, 2), crd)
+        assert img.rect(0) == Rect((0,), (5,))
+        assert img.rect(1) == Rect((5,), (8,))
+
+    def test_all_empty_rows(self):
+        pos = self.make_pos([(0, 0), (0, 0)])
+        crd = Region((4,), np.int64)
+        img = ImageByRange(pos, Tiling.create(pos, 1), crd)
+        assert img.rect(0).is_empty()
+
+    def test_paper_figure_2a(self):
+        # S contains ranges {0,2} {3,4} {5,5} {6,8}; colors pair them.
+        # Note paper ranges are inclusive; ours are half-open.
+        pos = self.make_pos([(0, 3), (3, 5), (5, 6), (6, 9)])
+        dest = Region((9,), np.int64)
+        img = ImageByRange(pos, Tiling.create(pos, 2), dest)
+        assert img.rect(0) == Rect((0,), (5,))
+        assert img.rect(1) == Rect((5,), (9,))
+
+    def test_requires_n_by_2(self):
+        bad = Region((4,), np.int64)
+        with pytest.raises(ValueError):
+            ImageByRange(bad, Tiling.create(bad, 2), bad)
+
+
+class TestImageByCoordinate:
+    def test_bounding_rects(self):
+        crd = Region((6,), np.int64, data=np.array([0, 1, 1, 3, 0, 3]))
+        x = Region((4,), np.float64)
+        img = ImageByCoordinate(crd, Tiling.create(crd, 2), x)
+        assert img.rect(0) == Rect((0,), (2,))  # coords {0,1,1}
+        assert img.rect(1) == Rect((0,), (4,))  # coords {3,0,3}
+
+    def test_aliasing_allowed(self):
+        crd = Region((4,), np.int64, data=np.array([0, 1, 0, 1]))
+        x = Region((2,), np.float64)
+        img = ImageByCoordinate(crd, Tiling.create(crd, 2), x)
+        assert img.rect(0) == img.rect(1) == Rect((0,), (2,))
+        assert not img.is_disjoint()
+
+    def test_2d_destination_covers_columns(self):
+        crd = Region((4,), np.int64, data=np.array([1, 2, 5, 6]))
+        x = Region((8, 3), np.float64)
+        img = ImageByCoordinate(crd, Tiling.create(crd, 2), x)
+        assert img.rect(0) == Rect((1, 0), (3, 3))
+        assert img.rect(1) == Rect((5, 0), (7, 3))
+
+    def test_empty_source_slice(self):
+        crd = Region((2,), np.int64, data=np.array([0, 1]))
+        x = Region((4,), np.float64)
+        img = ImageByCoordinate(crd, Tiling.create(crd, 4), x)
+        assert img.rect(3).is_empty()
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=5))
+    def test_property_image_covers_references(self, coords, colors):
+        """Every coordinate referenced by a shard is inside its image."""
+        crd = Region((len(coords),), np.int64, data=np.array(coords))
+        x = Region((31,), np.float64)
+        tiling = Tiling.create(crd, colors)
+        img = ImageByCoordinate(crd, tiling, x)
+        for c in range(colors):
+            src = tiling.rect(c)
+            rect = img.rect(c)
+            for j in coords[src.lo[0] : src.hi[0]]:
+                assert rect.contains_point((j,))
+
+
+class TestImageProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=6), min_size=1, max_size=30
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_image_by_range_matches_indptr_slices(self, row_counts, colors):
+        """For CSR-style pos, the image of a row tile is exactly the
+        nnz window scipy's indptr would give."""
+        indptr = np.concatenate([[0], np.cumsum(row_counts)]).astype(np.int64)
+        n = len(row_counts)
+        nnz = int(indptr[-1])
+        pos = Region(
+            (n, 2), np.int64, data=np.stack([indptr[:-1], indptr[1:]], axis=1)
+        )
+        crd = Region((max(nnz, 1),), np.int64)
+        tiling = Tiling.create(pos, colors)
+        img = ImageByRange(pos, tiling, crd)
+        for c in range(colors):
+            tile = tiling.rect(c)
+            rlo, rhi = tile.lo[0], tile.hi[0]
+            rect = img.rect(c)
+            if rhi <= rlo or indptr[rhi] == indptr[rlo]:
+                assert rect.is_empty()
+            else:
+                assert rect == Rect((int(indptr[rlo]),), (int(indptr[rhi]),))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_exact_image_pieces_are_disjoint_and_minimal(self, coords, colors):
+        crd = Region((len(coords),), np.int64, data=np.array(coords, np.int64))
+        x = Region((41,), np.float64)
+        tiling = Tiling.create(crd, colors)
+        img = ImageByCoordinate(crd, tiling, x, exact=True)
+        for c in range(colors):
+            pieces = img.pieces(c)
+            covered = set()
+            for piece in pieces:
+                for p in range(piece.lo[0], piece.hi[0]):
+                    assert p not in covered  # disjoint
+                    covered.add(p)
+            tile = tiling.rect(c)
+            refs = set(coords[tile.lo[0] : tile.hi[0]])
+            if len(pieces) > 1 or (pieces and len(covered) < 41):
+                # Unless the fallback kicked in, pieces == references.
+                if len(pieces) <= ImageByCoordinate.MAX_EXACT_PIECES and pieces:
+                    assert covered == refs or refs.issubset(covered)

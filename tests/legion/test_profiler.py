@@ -1,0 +1,65 @@
+"""Profiler unit tests: counters, deltas, summaries."""
+
+import numpy as np
+
+import repro.numeric as rnp
+import repro.sparse as sp
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.profiler import Profiler
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+
+class TestCounters:
+    def test_record_and_totals(self):
+        p = Profiler()
+        p.record_task("spmv", 4)
+        p.record_copy("nvlink[0,1]", 100)
+        p.record_copy("nic[0]", 50)
+        p.record_copy("nvlink[2,3]", 100)
+        p.record_allreduce()
+        assert p.tasks_launched == 1
+        assert p.shards_executed == 4
+        assert p.total_copy_bytes() == 250
+        assert p.total_copy_bytes("nvlink") == 200
+        assert p.total_copies("nic") == 1
+        assert p.allreduces == 1
+
+    def test_channel_kind_grouping(self):
+        p = Profiler()
+        p.record_copy("nvlink[1,2]", 10)
+        p.record_copy("nvlink[3,4]", 20)
+        assert p.copy_bytes["nvlink"] == 30
+
+    def test_snapshot_delta(self):
+        p = Profiler()
+        p.record_task("a", 1)
+        snap = p.snapshot()
+        p.record_task("a", 1)
+        p.record_copy("nic[0]", 64)
+        delta = p.since(snap)
+        assert delta.tasks_launched == 1
+        assert delta.copy_bytes["nic"] == 64
+        assert delta.task_counts["a"] == 1
+
+    def test_summary_renders(self):
+        machine = laptop()
+        rt = Runtime(machine.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate())
+        with runtime_scope(rt):
+            A = sp.eye(32, format="csr")
+            x = rnp.ones(32)
+            for _ in range(3):
+                x = A @ x
+                x /= rnp.linalg.norm(x)
+        text = rt.profiler.format_summary()
+        assert "tasks launched" in text
+        assert "hottest tasks" in text
+        assert "allreduces" in text
+
+    def test_events_disabled_by_default(self):
+        p = Profiler()
+        p.record_event("x", 0.0, 1.0)
+        assert p.events == []
+        p.record_events = True
+        p.record_event("x", 0.0, 1.0)
+        assert p.events == [("x", 0.0, 1.0)]

@@ -1,0 +1,235 @@
+"""Integration-style tests for the runtime: tasks, copies, timing."""
+
+import numpy as np
+import pytest
+
+from repro.legion import (
+    Future,
+    Privilege,
+    Replicate,
+    Requirement,
+    Runtime,
+    RuntimeConfig,
+    TaskLaunch,
+    Tiling,
+)
+from repro.machine import ProcessorKind, laptop, summit
+
+
+@pytest.fixture
+def gpu2():
+    machine = laptop()
+    return Runtime(machine.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate())
+
+
+def double_kernel(ctx):
+    ctx.view("out")[...] = 2.0 * ctx.view("inp")
+
+
+def launch_double(rt, out, inp, colors=2):
+    rt.launch(
+        TaskLaunch(
+            "double",
+            [
+                Requirement("out", out, Tiling.create(out, colors), Privilege.WRITE_DISCARD),
+                Requirement("inp", inp, Tiling.create(inp, colors), Privilege.READ),
+            ],
+            double_kernel,
+        )
+    )
+
+
+class TestExecution:
+    def test_numerics_exact(self, gpu2):
+        inp = gpu2.create_region((100,), np.float64, data=np.arange(100.0))
+        out = gpu2.create_region((100,), np.float64)
+        launch_double(gpu2, out, inp)
+        np.testing.assert_array_equal(out.data, 2.0 * np.arange(100.0))
+
+    def test_time_advances(self, gpu2):
+        inp = gpu2.create_region((100,), np.float64, data=np.arange(100.0))
+        out = gpu2.create_region((100,), np.float64)
+        t0 = gpu2.elapsed()
+        launch_double(gpu2, out, inp)
+        assert gpu2.elapsed() > t0
+
+    def test_host_data_staged_once(self, gpu2):
+        inp = gpu2.create_region((100,), np.float64, data=np.arange(100.0))
+        out = gpu2.create_region((100,), np.float64)
+        launch_double(gpu2, out, inp)
+        first = gpu2.profiler.total_copy_bytes("nvlink")
+        assert first == 100 * 8  # both halves staged from host sysmem
+        launch_double(gpu2, out, inp)
+        # Data now resident on the GPUs: no further copies.
+        assert gpu2.profiler.total_copy_bytes("nvlink") == first
+
+    def test_write_invalidates_remote_copy(self, gpu2):
+        a = gpu2.create_region((64,), np.float64, data=np.ones(64))
+        b = gpu2.create_region((64,), np.float64)
+        launch_double(gpu2, b, a)
+        # Write a with one shard per GPU, then broadcast-read it on both:
+        # each GPU must fetch the other's half.
+        rt = gpu2
+
+        def bump(ctx):
+            ctx.view("out")[...] += 1.0
+
+        rt.launch(
+            TaskLaunch(
+                "bump",
+                [Requirement("out", a, Tiling.create(a, 2), Privilege.WRITE)],
+                bump,
+            )
+        )
+        snap = rt.profiler.snapshot()
+
+        def read_all(ctx):
+            assert ctx.view("inp").shape == (64,)
+
+        rt.launch(
+            TaskLaunch(
+                "readall",
+                [Requirement("inp", a, Replicate(a, 2), Privilege.READ)],
+                read_all,
+            )
+        )
+        delta = rt.profiler.since(snap)
+        # Each GPU pulls the 32 elements it does not own.
+        assert delta.total_copy_bytes("nvlink") == 2 * 32 * 8
+
+    def test_scalar_future_gates_start(self, gpu2):
+        inp = gpu2.create_region((10,), np.float64, data=np.zeros(10))
+        out = gpu2.create_region((10,), np.float64)
+        late = Future(3.0, ready_time=1.0)  # one simulated second away
+
+        def add_scalar(ctx):
+            ctx.view("out")[...] = ctx.view("inp") + ctx.scalar("c")
+
+        gpu2.launch(
+            TaskLaunch(
+                "addc",
+                [
+                    Requirement("out", out, Tiling.create(out, 2), Privilege.WRITE_DISCARD),
+                    Requirement("inp", inp, Tiling.create(inp, 2), Privilege.READ),
+                ],
+                add_scalar,
+                scalars={"c": late},
+            )
+        )
+        assert out.data[0] == 3.0
+        assert gpu2.elapsed() >= 1.0
+
+    def test_launch_overhead_accumulates(self):
+        machine = laptop()
+        slow = Runtime(
+            machine.scope(ProcessorKind.GPU, 1),
+            RuntimeConfig.legate(launch_overhead=1e-3),
+        )
+        fast = Runtime(
+            machine.scope(ProcessorKind.GPU, 1),
+            RuntimeConfig.cupy(launch_overhead=1e-6),
+        )
+        for rt in (slow, fast):
+            inp = rt.create_region((8,), np.float64, data=np.ones(8))
+            out = rt.create_region((8,), np.float64)
+            for _ in range(10):
+                launch_double(rt, out, inp, colors=1)
+        assert slow.elapsed() > fast.elapsed() * 50
+
+    def test_data_scale_magnifies_time(self):
+        machine = laptop()
+        times = []
+        for scale in (1.0, 1000.0):
+            rt = Runtime(
+                machine.scope(ProcessorKind.GPU, 2),
+                RuntimeConfig.legate(data_scale=scale, launch_overhead=0.0),
+            )
+            inp = rt.create_region((1000,), np.float64, data=np.ones(1000))
+            out = rt.create_region((1000,), np.float64)
+            launch_double(rt, out, inp)
+            times.append(rt.elapsed())
+        assert times[1] > times[0]
+
+
+class TestReduceFold:
+    def test_scatter_add_folds_to_owners(self, gpu2):
+        rt = gpu2
+        y = rt.create_region((8,), np.float64)
+        contrib = rt.create_region((8,), np.float64, data=np.ones(8))
+
+        def scatter(ctx):
+            # Both shards add into the whole of y (aliased REDUCE).
+            ctx.arrays["y"][...] += ctx.view("c").sum() / 8.0
+
+        rt.launch(
+            TaskLaunch(
+                "scatter",
+                [
+                    Requirement("y", y, Replicate(y, 2), Privilege.REDUCE),
+                    Requirement("c", contrib, Tiling.create(contrib, 2), Privilege.READ),
+                ],
+                scatter,
+            )
+        )
+        np.testing.assert_allclose(y.data, np.ones(8))
+        # Fold copies crossed the GPU-GPU link.
+        assert rt.profiler.total_copies("nvlink") > 0
+
+
+class TestAllreduce:
+    def test_value_correct(self, gpu2):
+        fut = gpu2.allreduce([1.0, 2.0, 3.0], [0.0, 0.0, 0.0])
+        assert fut.value == 6.0
+
+    def test_single_partial_is_cheap(self, gpu2):
+        f1 = gpu2.allreduce([5.0], [1.0])
+        assert f1.value == 5.0
+        assert f1.ready_time == pytest.approx(
+            1.0 + gpu2.config.allreduce_base_overhead
+        )
+
+    def test_latency_grows_with_participants(self):
+        machine = summit(nodes=8)
+        rt = Runtime(machine.scope(ProcessorKind.GPU, 48), RuntimeConfig.legate())
+        t2 = rt.allreduce([1.0] * 2, [0.0] * 2).ready_time
+        t48 = rt.allreduce([1.0] * 48, [0.0] * 48).ready_time
+        assert t48 > t2
+
+    def test_ops(self, gpu2):
+        assert gpu2.allreduce([3.0, 1.0], [0, 0], op="max").value == 3.0
+        assert gpu2.allreduce([3.0, 1.0], [0, 0], op="min").value == 1.0
+        with pytest.raises(ValueError):
+            gpu2.allreduce([1.0], [0.0], op="median")
+
+    def test_wait_advances_issue_clock(self, gpu2):
+        fut = Future(1.0, ready_time=42.0)
+        assert gpu2.wait(fut) == 1.0
+        assert gpu2.issue_time >= 42.0
+
+
+class TestFill:
+    def test_fill_value(self, gpu2):
+        r = gpu2.create_region((10,), np.float64)
+        gpu2.fill(r, 7.5)
+        np.testing.assert_array_equal(r.data, np.full(10, 7.5))
+        assert gpu2.profiler.fills == 1
+
+
+class TestRegionLifecycle:
+    def test_free_region_recycles_instances(self, gpu2):
+        inp = gpu2.create_region((100,), np.float64, data=np.ones(100))
+        out = gpu2.create_region((100,), np.float64)
+        launch_double(gpu2, out, inp)
+        mem = gpu2.scope.processors[0].memory
+        state = gpu2.instances.state(mem)
+        before = state.used_bytes
+        assert before > 0
+        out.destroy()
+        inp.destroy()
+        # Bytes stay charged but the allocations are pooled for reuse.
+        assert state.instances.get(out.uid, []) == []
+        assert len(state.pool) == 2
+        # A new same-size region claims a pooled allocation: no growth.
+        again = gpu2.create_region((100,), np.float64)
+        launch_double(gpu2, again, again, colors=2)
+        assert state.used_bytes <= before

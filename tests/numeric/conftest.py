@@ -1,0 +1,25 @@
+import pytest
+
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+
+@pytest.fixture(params=[1, 2], ids=["p1", "p2"])
+def rt(request):
+    """Run every numeric test on 1 and 2 simulated GPUs."""
+    machine = laptop()
+    runtime = Runtime(
+        machine.scope(ProcessorKind.GPU, request.param), RuntimeConfig.legate()
+    )
+    with runtime_scope(runtime):
+        yield runtime
+
+
+@pytest.fixture(scope="module")
+def rt_module():
+    """A module-scoped runtime for hypothesis tests (no per-example setup)."""
+    machine = laptop()
+    runtime = Runtime(machine.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate())
+    with runtime_scope(runtime):
+        yield runtime

@@ -1,0 +1,138 @@
+"""Tests for the extended dense API: comparisons, where, argmax, etc."""
+
+import numpy as np
+import pytest
+
+import repro.numeric as rnp
+
+
+class TestComparisons:
+    def test_operators_return_bool_arrays(self, rt):
+        a = rnp.array(np.array([1.0, 5.0, 3.0]))
+        b = rnp.array(np.array([2.0, 5.0, 1.0]))
+        lt = a < b
+        assert lt.dtype == np.bool_
+        np.testing.assert_array_equal(lt.to_numpy(), [True, False, False])
+        np.testing.assert_array_equal((a <= b).to_numpy(), [True, True, False])
+        np.testing.assert_array_equal((a > b).to_numpy(), [False, False, True])
+        np.testing.assert_array_equal((a >= b).to_numpy(), [False, True, True])
+        np.testing.assert_array_equal((a == b).to_numpy(), [False, True, False])
+        np.testing.assert_array_equal((a != b).to_numpy(), [True, False, True])
+
+    def test_scalar_comparison(self, rt):
+        a = rnp.array(np.array([1.0, 5.0, 3.0]))
+        np.testing.assert_array_equal((a > 2.0).to_numpy(), [False, True, True])
+
+
+class TestWhere:
+    def test_array_operands(self, rt):
+        cond = rnp.array(np.array([True, False, True]))
+        a = rnp.array(np.array([1.0, 2.0, 3.0]))
+        b = rnp.array(np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_array_equal(
+            rnp.where(cond, a, b).to_numpy(), [1.0, 20.0, 3.0]
+        )
+
+    def test_scalar_operands(self, rt):
+        cond = rnp.array(np.array([True, False]))
+        out = rnp.where(cond, 1.0, -1.0)
+        np.testing.assert_array_equal(out.to_numpy(), [1.0, -1.0])
+
+    def test_rejects_host_condition(self, rt):
+        with pytest.raises(TypeError):
+            rnp.where(np.array([True]), 1.0, 2.0)
+
+
+class TestRounding:
+    def test_floor_ceil_rint(self, rt):
+        a = rnp.array(np.array([1.2, -1.7, 2.5]))
+        np.testing.assert_array_equal(rnp.floor(a).to_numpy(), [1, -2, 2])
+        np.testing.assert_array_equal(rnp.ceil(a).to_numpy(), [2, -1, 3])
+        np.testing.assert_array_equal(rnp.rint(a).to_numpy(), np.rint([1.2, -1.7, 2.5]))
+
+    def test_clip(self, rt):
+        a = rnp.array(np.array([-5.0, 0.5, 9.0]))
+        np.testing.assert_array_equal(
+            rnp.clip(a, 0.0, 1.0).to_numpy(), [0.0, 0.5, 1.0]
+        )
+
+
+class TestPredicates:
+    def test_isnan_isfinite(self, rt):
+        a = rnp.array(np.array([1.0, np.nan, np.inf]))
+        np.testing.assert_array_equal(rnp.isnan(a).to_numpy(), [False, True, False])
+        np.testing.assert_array_equal(
+            rnp.isfinite(a).to_numpy(), [True, False, False]
+        )
+
+    def test_allclose_and_array_equal(self, rt):
+        a = rnp.array(np.array([1.0, 2.0]))
+        b = rnp.array(np.array([1.0, 2.0 + 1e-12]))
+        assert rnp.allclose(a, b)
+        assert not rnp.array_equal(a, b)
+        assert rnp.array_equal(a, a.copy())
+        assert not rnp.array_equal(a, rnp.ones(3))
+
+
+class TestArgReductions:
+    def test_argmax_argmin(self, rt):
+        data = np.array([3.0, 9.0, -2.0, 9.0, 1.0])
+        a = rnp.array(data)
+        assert int(rnp.argmax(a)) == int(np.argmax(data))
+        assert int(rnp.argmin(a)) == int(np.argmin(data))
+
+    def test_first_occurrence_tie(self, rt):
+        a = rnp.array(np.array([5.0, 5.0, 5.0]))
+        assert int(rnp.argmax(a)) == 0
+
+    def test_count_nonzero(self, rt):
+        a = rnp.array(np.array([0.0, 1.0, 0.0, -2.0]))
+        assert int(rnp.count_nonzero(a)) == 2
+
+
+class TestConcatenate:
+    def test_matches_numpy(self, rt):
+        parts = [np.arange(3.0), np.arange(4.0) + 10, np.arange(2.0) + 100]
+        out = rnp.concatenate([rnp.array(p) for p in parts])
+        np.testing.assert_array_equal(out.to_numpy(), np.concatenate(parts))
+
+    def test_dtype_promotion(self, rt):
+        out = rnp.concatenate([rnp.ones(2), rnp.array(np.array([1j]))])
+        assert out.dtype == np.complex128
+
+    def test_empty_list_rejected(self, rt):
+        with pytest.raises(ValueError):
+            rnp.concatenate([])
+
+    def test_2d_rejected(self, rt):
+        with pytest.raises(ValueError):
+            rnp.concatenate([rnp.ones((2, 2))])
+
+
+class TestAxisSums:
+    def test_sum_axis1(self, rt):
+        data = np.arange(12.0).reshape(4, 3)
+        out = rnp.sum(rnp.array(data), axis=1)
+        np.testing.assert_allclose(out.to_numpy(), data.sum(axis=1))
+
+    def test_sum_axis0(self, rt):
+        data = np.arange(12.0).reshape(4, 3)
+        out = rnp.sum(rnp.array(data), axis=0)
+        np.testing.assert_allclose(out.to_numpy(), data.sum(axis=0))
+
+    def test_mean_axis(self, rt):
+        data = np.arange(12.0).reshape(4, 3) + 1
+        np.testing.assert_allclose(
+            rnp.mean(rnp.array(data), axis=1).to_numpy(), data.mean(axis=1)
+        )
+        np.testing.assert_allclose(
+            rnp.mean(rnp.array(data), axis=0).to_numpy(), data.mean(axis=0)
+        )
+
+    def test_axis_sum_on_1d_rejected(self, rt):
+        with pytest.raises(ValueError):
+            rnp.sum(rnp.ones(4), axis=0)
+
+    def test_bad_axis(self, rt):
+        with pytest.raises(ValueError):
+            rnp.sum(rnp.ones((2, 2)), axis=3)

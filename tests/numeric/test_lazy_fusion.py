@@ -1,0 +1,116 @@
+"""Tests for expression-template task fusion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.numeric as rnp
+from repro.numeric.lazy import LazyExpr, evaluate, lazy
+
+
+class TestFusion:
+    def test_single_launch(self, rt):
+        x = rnp.array(np.arange(8.0))
+        b = rnp.array(np.ones(8))
+        snap = rt.profiler.snapshot()
+        evaluate(lazy(x) * 2.0 + lazy(b) - 0.5)
+        assert rt.profiler.since(snap).tasks_launched == 1
+
+    def test_matches_unfused(self, rt):
+        rng = np.random.default_rng(0)
+        xs = rng.random(32)
+        bs = rng.random(32) + 1.0
+        x, b = rnp.array(xs), rnp.array(bs)
+        fused = evaluate((lazy(x) + 1.0) * lazy(b).sqrt() - lazy(x) / lazy(b))
+        expected = (xs + 1.0) * np.sqrt(bs) - xs / bs
+        np.testing.assert_allclose(fused.to_numpy(), expected, rtol=1e-14)
+
+    def test_unary_chain(self, rt):
+        x = rnp.array(np.array([0.5, 1.0, 2.0]))
+        out = evaluate(abs(-(lazy(x).exp())))
+        np.testing.assert_allclose(out.to_numpy(), np.exp([0.5, 1.0, 2.0]))
+
+    def test_deferred_scalar_operand(self, rt):
+        x = rnp.array(np.array([3.0, 4.0]))
+        nrm = rnp.linalg.norm(x)  # deferred Scalar
+        out = evaluate(lazy(x) / nrm)
+        np.testing.assert_allclose(out.to_numpy(), [0.6, 0.8])
+
+    def test_repeated_leaf_loaded_once(self, rt):
+        x = rnp.array(np.arange(4.0))
+        expr = lazy(x) * lazy(x) + lazy(x)
+        assert len(expr.leaves()) == 1
+        np.testing.assert_allclose(
+            evaluate(expr).to_numpy(), np.arange(4.0) ** 2 + np.arange(4.0)
+        )
+
+    def test_op_count(self, rt):
+        x = rnp.array(np.ones(4))
+        expr = (lazy(x) + 1.0) * 2.0 - lazy(x)
+        assert expr.op_count() == 3
+
+    def test_evaluate_method(self, rt):
+        x = rnp.array(np.arange(3.0))
+        np.testing.assert_allclose(
+            (lazy(x) * 3.0).evaluate().to_numpy(), [0, 3, 6]
+        )
+
+    def test_shape_mismatch_rejected(self, rt):
+        with pytest.raises(ValueError):
+            evaluate(lazy(rnp.ones(3)) + lazy(rnp.ones(4)))
+
+    def test_scalar_only_rejected(self, rt):
+        with pytest.raises(ValueError):
+            evaluate(LazyExpr("scalar", (1.0,)))
+
+    def test_non_array_rejected(self, rt):
+        with pytest.raises(TypeError):
+            lazy(np.ones(3))
+
+    def test_complex_dtype(self, rt):
+        z = rnp.array(np.array([1 + 1j, 2 - 1j]))
+        out = evaluate(lazy(z).conj() * lazy(z)) if hasattr(lazy(z), "conj") else None
+        # conj isn't exposed as a method; use the square pathway instead.
+        out = evaluate(lazy(z) * lazy(z))
+        np.testing.assert_allclose(
+            out.to_numpy(), np.array([1 + 1j, 2 - 1j]) ** 2
+        )
+
+    def test_fusion_reduces_simulated_time(self, rt):
+        x = rnp.array(np.ones(64))
+        b = rnp.array(np.ones(64))
+        # Warm-up both paths.
+        evaluate(lazy(x) * 2.0 + lazy(b) - 0.5)
+        _ = x * 2.0 + b - 0.5
+        t0 = rt.barrier()
+        for _ in range(10):
+            evaluate(lazy(x) * 2.0 + lazy(b) - 0.5)
+        t_fused = rt.barrier() - t0
+        t0 = rt.barrier()
+        for _ in range(10):
+            _ = x * 2.0 + b - 0.5
+        t_unfused = rt.barrier() - t0
+        assert t_fused < t_unfused
+
+
+class TestFusionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        coeffs=st.lists(
+            st.floats(min_value=-3, max_value=3, allow_nan=False), min_size=1, max_size=5
+        ),
+    )
+    def test_fused_axpy_chain_matches_numpy(self, rt_module, seed, coeffs):
+        rng = np.random.default_rng(seed)
+        xs = rng.random(24)
+        x = rnp.array(xs)
+        expr = lazy(x)
+        expected = xs.copy()
+        for c in coeffs:
+            expr = expr * c + lazy(x)
+            expected = expected * c + xs
+        np.testing.assert_allclose(
+            evaluate(expr).to_numpy(), expected, rtol=1e-12, atol=1e-12
+        )

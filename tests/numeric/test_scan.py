@@ -1,0 +1,81 @@
+"""Distributed prefix-sum tests (the two-phase parallel scan)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.numeric as rnp
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+
+class TestCumsum:
+    def test_matches_numpy(self, rt):
+        data = np.arange(1.0, 33.0)
+        out = rnp.cumsum(rnp.array(data))
+        np.testing.assert_allclose(out.to_numpy(), np.cumsum(data))
+
+    def test_integer_dtype_widens(self, rt):
+        data = np.ones(10, dtype=np.int64)
+        out = rnp.cumsum(rnp.array(data))
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out.to_numpy(), np.arange(1, 11))
+
+    def test_method_form(self, rt):
+        a = rnp.array(np.array([3.0, 1.0, 4.0]))
+        np.testing.assert_allclose(a.cumsum().to_numpy(), [3, 4, 8])
+
+    def test_single_element(self, rt):
+        out = rnp.cumsum(rnp.array(np.array([7.0])))
+        np.testing.assert_allclose(out.to_numpy(), [7.0])
+
+    def test_2d_rejected(self, rt):
+        with pytest.raises(ValueError):
+            rnp.cumsum(rnp.ones((2, 2)))
+
+
+class TestExclusiveScan:
+    def test_shifted_by_one(self, rt):
+        data = np.array([2, 3, 5, 7], dtype=np.int64)
+        excl, total = rnp.exclusive_scan(rnp.array(data))
+        np.testing.assert_array_equal(excl.to_numpy(), [0, 2, 5, 10])
+        assert int(total) == 17
+
+    def test_zero_counts(self, rt):
+        data = np.zeros(6, dtype=np.int64)
+        excl, total = rnp.exclusive_scan(rnp.array(data))
+        np.testing.assert_array_equal(excl.to_numpy(), np.zeros(6))
+        assert int(total) == 0
+
+    def test_pos_construction_pattern(self, rt):
+        """The sparse library's usage: counts -> (lo, hi) ranges."""
+        counts = np.array([2, 0, 3, 1], dtype=np.int64)
+        excl, total = rnp.exclusive_scan(rnp.array(counts))
+        lo = excl.to_numpy()
+        hi = lo + counts
+        assert list(lo) == [0, 2, 2, 5]
+        assert list(hi) == [2, 2, 5, 6]
+        assert int(total) == 6
+
+
+class TestScanProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=64),
+        procs=st.integers(min_value=1, max_value=2),
+    )
+    def test_property_matches_numpy(self, data, procs):
+        runtime = Runtime(
+            laptop().scope(ProcessorKind.GPU, procs), RuntimeConfig.legate()
+        )
+        with runtime_scope(runtime):
+            arr = rnp.array(np.array(data, dtype=np.int64))
+            np.testing.assert_array_equal(
+                rnp.cumsum(arr).to_numpy(), np.cumsum(data)
+            )
+            excl, total = rnp.exclusive_scan(arr)
+            expected = np.concatenate([[0], np.cumsum(data)[:-1]])
+            np.testing.assert_array_equal(excl.to_numpy(), expected)
+            assert int(total) == sum(data)
