@@ -1,0 +1,19 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test validate check lint
+
+test:
+	python -m pytest -x -q
+
+# Full suite under validation mode: every runtime records an event log,
+# sanitizes privileges, and the conftest fixture replays each log
+# through the offline checker after every test.
+validate:
+	REPRO_VALIDATE=1 python -m pytest -x -q
+
+lint:
+	ruff check src tests
+
+check:
+	sh scripts/check.sh

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Repository gate: lint + tier-1 suite + validation smoke test.
+#
+#   make check          # or: sh scripts/check.sh
+#
+# The validation pass re-runs a smoke slice of the suite with
+# REPRO_VALIDATE=1, which turns on event-log recording, privilege
+# sanitizing and the offline Legion-Spy-style checker (repro.analysis).
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+echo "== ruff =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests
+else
+    echo "ruff not installed; skipping lint (config lives in pyproject.toml)"
+fi
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== validation smoke (REPRO_VALIDATE=1) =="
+REPRO_VALIDATE=1 python -m pytest -x -q \
+    tests/analysis \
+    tests/legion/test_runtime.py \
+    tests/legion/test_coherence.py \
+    tests/legion/test_exact_images.py \
+    tests/integration
+
+echo "== all checks passed =="

@@ -1,0 +1,75 @@
+"""Correctness tooling for the runtime and the DISTAL pipeline.
+
+The reproduction's answer to Legion Spy: when validation mode is on
+(``RuntimeConfig(validate=True)`` or ``REPRO_VALIDATE=1``), the runtime
+
+* records every launch, shard, copy, fold and allreduce into an
+  :class:`~repro.analysis.events.EventLog`;
+* sanitizes kernel arguments (read-only views under READ, NaN-poisoned
+  buffers under WRITE_DISCARD — :mod:`repro.analysis.sanitizer`);
+* asserts reads are never stale against the coherence maps.
+
+The recorded log is validated offline by
+:func:`~repro.analysis.checker.check_log` (races, stale reads, invalid
+copies) — also exposed as ``python -m repro.analysis <logfile>`` — and
+the DISTAL code generator runs :mod:`repro.analysis.lint` over every
+statement, schedule and emitted kernel before registering it.
+
+This package deliberately imports nothing from :mod:`repro.legion` or
+:mod:`repro.distal` so the runtime can import it without cycles.
+"""
+
+from repro.analysis.checker import Violation, check_log
+from repro.analysis.events import (
+    AllreduceEvent,
+    CopyEvent,
+    EventLog,
+    FoldEvent,
+    ReqAccess,
+    ShardEvent,
+    TaskEvent,
+)
+from repro.analysis.lint import (
+    DistalLintError,
+    LintIssue,
+    lint_all,
+    lint_kernel_spec,
+    lint_schedule,
+    lint_statement,
+)
+from repro.analysis.recorder import (
+    active_logs,
+    drain_logs,
+    register,
+    set_validation_default,
+    validation_default,
+)
+
+
+class ValidationError(RuntimeError):
+    """An online validation check failed (stale read, bad partition)."""
+
+
+__all__ = [
+    "AllreduceEvent",
+    "CopyEvent",
+    "DistalLintError",
+    "EventLog",
+    "FoldEvent",
+    "LintIssue",
+    "ReqAccess",
+    "ShardEvent",
+    "TaskEvent",
+    "ValidationError",
+    "Violation",
+    "active_logs",
+    "check_log",
+    "drain_logs",
+    "lint_all",
+    "lint_kernel_spec",
+    "lint_schedule",
+    "lint_statement",
+    "register",
+    "set_validation_default",
+    "validation_default",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis <logfile>`` — validate a recorded run."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

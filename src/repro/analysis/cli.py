@@ -1,0 +1,63 @@
+"""Command-line entry point: validate a recorded event log.
+
+Usage::
+
+    python -m repro.analysis run.jsonl            # check, exit 1 on violations
+    python -m repro.analysis run.jsonl --stats    # also print event counts
+    python -m repro.analysis run.jsonl --max 10   # cap reported violations
+
+Logs are produced by running any program with ``RuntimeConfig``
+``validate=True`` (or ``REPRO_VALIDATE=1`` in the environment) and
+calling ``runtime.event_log.save(path)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.checker import check_log
+from repro.analysis.events import EventLog
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Replay a runtime event log and report races, stale "
+        "reads and invalid copies (a Legion-Spy-style validator).",
+    )
+    parser.add_argument("logfile", help="JSONL event log written by EventLog.save")
+    parser.add_argument(
+        "--stats", action="store_true", help="print event counts by kind"
+    )
+    parser.add_argument(
+        "--max", type=int, default=100, metavar="N",
+        help="stop after N violations (default 100)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the checker over a log file; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        log = EventLog.load(args.logfile)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read log {args.logfile!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.stats:
+        for kind, count in sorted(log.stats().items()):
+            print(f"{kind:>10}: {count}")
+    violations = check_log(log, max_violations=args.max)
+    for violation in violations:
+        print(str(violation))
+    if violations:
+        print(f"FAILED: {len(violations)} violation(s) in {len(log)} events")
+        return 1
+    print(f"OK: {len(log)} events, no violations")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

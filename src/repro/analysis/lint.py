@@ -1,0 +1,249 @@
+"""DISTAL lint: pre-codegen legality checks over statements, schedules
+and generated kernels.
+
+Three layers, mirroring what the real DISTAL compiler rejects before it
+ever emits a Legion task:
+
+* :func:`lint_statement` — IR well-formedness: every left-hand-side
+  index variable must be bound by a right-hand-side access (an unbound
+  output dimension has no iteration space), and a tensor name must be
+  used with one consistent order across the statement.
+* :func:`lint_schedule` — schedule legality against the statement: the
+  divided variable must exist in the statement, distribution must refer
+  to the divided outer variable, and communicated tensors must appear in
+  the statement.
+* :func:`lint_kernel_spec` — generated-code checks: the emitted source
+  is ``ast``-parsed and every ``ctx.arrays[...]`` / ``ctx.rects[...]`` /
+  ``ctx.view(...)`` / ``ctx.rect(...)`` reference must name a declared
+  region argument, every ``ctx.scalar(...)`` a declared scalar, and
+  every region argument must be covered by at least one partitioning
+  constraint (otherwise the launcher has no way to place it).
+
+The functions are duck-typed over :mod:`repro.distal.ir`,
+:mod:`repro.distal.schedule` and
+:class:`repro.distal.codegen.KernelSpec` so this module stays
+import-light (no runtime dependency); :class:`DistalLintError` is what
+:mod:`repro.distal.registry` raises when a check fails.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One lint finding."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.message}"
+
+
+class DistalLintError(ValueError):
+    """A statement/schedule/kernel failed the legality checks."""
+
+    def __init__(self, issues: List[LintIssue]):
+        self.issues = list(issues)
+        super().__init__(
+            "DISTAL lint failed:\n" + "\n".join(f"  - {i}" for i in self.issues)
+        )
+
+
+# ----------------------------------------------------------------------
+# Statement (IR) checks
+# ----------------------------------------------------------------------
+def lint_statement(statement) -> List[LintIssue]:
+    """Well-formedness of a tensor-algebra assignment."""
+    issues: List[LintIssue] = []
+    rhs_vars = set()
+    orders = {}
+    accesses = [statement.lhs] + list(statement.rhs.factors)
+    for access in statement.rhs.factors:
+        rhs_vars.update(access.indices)
+    for access in accesses:
+        name = access.tensor.name
+        order = access.tensor.order
+        if len(access.indices) != order:
+            issues.append(
+                LintIssue(
+                    "index-arity",
+                    f"access {access} uses {len(access.indices)} indices "
+                    f"but tensor {name!r} has order {order}",
+                )
+            )
+        if name in orders and orders[name] != order:
+            issues.append(
+                LintIssue(
+                    "inconsistent-order",
+                    f"tensor {name!r} used with orders "
+                    f"{orders[name]} and {order}",
+                )
+            )
+        orders.setdefault(name, order)
+    for var in statement.lhs.indices:
+        if var not in rhs_vars:
+            issues.append(
+                LintIssue(
+                    "unbound-output-index",
+                    f"LHS index {var} of {statement} is bound by no "
+                    f"RHS access: its iteration space is undefined",
+                )
+            )
+    return issues
+
+
+# ----------------------------------------------------------------------
+# Schedule checks
+# ----------------------------------------------------------------------
+def lint_schedule(statement, schedule) -> List[LintIssue]:
+    """Legality of a schedule for a statement."""
+    issues: List[LintIssue] = []
+    if schedule is None:
+        return issues
+    stmt_vars = set(statement.index_vars)
+    stmt_tensors = {a.tensor.name for a in [statement.lhs, *statement.rhs.factors]}
+    if schedule.divided is not None:
+        var, outer, inner = schedule.divided
+        if var not in stmt_vars:
+            issues.append(
+                LintIssue(
+                    "divide-unknown-var",
+                    f"divide({var}, {outer}, {inner}) splits a variable "
+                    f"that does not occur in {statement}",
+                )
+            )
+        if outer in stmt_vars or inner in stmt_vars:
+            issues.append(
+                LintIssue(
+                    "divide-shadows-var",
+                    f"divide({var}, {outer}, {inner}) reuses a variable "
+                    f"already present in {statement}",
+                )
+            )
+    if schedule.distributed is not None and schedule.divided is None:
+        issues.append(
+            LintIssue(
+                "distribute-before-divide",
+                "distribute() without a preceding divide()",
+            )
+        )
+    for tensor in schedule.communicated:
+        if tensor.name not in stmt_tensors:
+            issues.append(
+                LintIssue(
+                    "communicate-unknown-tensor",
+                    f"communicate lists tensor {tensor.name!r} which does "
+                    f"not occur in {statement}",
+                )
+            )
+    return issues
+
+
+# ----------------------------------------------------------------------
+# Generated-kernel checks
+# ----------------------------------------------------------------------
+def _const_str(node) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _ctx_attr(node) -> Optional[str]:
+    """'arrays' for ``ctx.arrays``, etc.; None for anything else."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "ctx"
+    ):
+        return node.attr
+    return None
+
+
+def lint_kernel_spec(spec) -> List[LintIssue]:
+    """Check a generated kernel's source against its declarations."""
+    issues: List[LintIssue] = []
+    declared = {name for name, _ in spec.args}
+    scalars = set(getattr(spec, "scalar_names", []) or [])
+
+    # Every region argument must be placeable: covered by a constraint.
+    constrained = set()
+    for con in spec.constraints:
+        tag = con[0]
+        if tag == "align":
+            constrained.update((con[1], con[2]))
+        elif tag in ("image_range", "image_coord"):
+            constrained.add(con[1])
+            constrained.update(con[2])
+        elif tag in ("broadcast", "explicit"):
+            constrained.add(con[1])
+    for name in declared - constrained:
+        issues.append(
+            LintIssue(
+                "unconstrained-arg",
+                f"region argument {name!r} of {spec.name} is covered by "
+                f"no partitioning constraint",
+            )
+        )
+
+    try:
+        tree = ast.parse(spec.source)
+    except SyntaxError as exc:  # pragma: no cover - template authoring error
+        return issues + [
+            LintIssue("syntax-error", f"generated source does not parse: {exc}")
+        ]
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript):
+            attr = _ctx_attr(node.value)
+            if attr in ("arrays", "rects"):
+                name = _const_str(node.slice)
+                if name is not None and name not in declared:
+                    issues.append(
+                        LintIssue(
+                            "undeclared-region",
+                            f"generated source references "
+                            f"ctx.{attr}[{name!r}] but {name!r} is not a "
+                            f"declared argument of {spec.name}",
+                        )
+                    )
+        elif isinstance(node, ast.Call):
+            attr = _ctx_attr(node.func)
+            if attr in ("view", "rect"):
+                name = _const_str(node.args[0]) if node.args else None
+                if name is not None and name not in declared:
+                    issues.append(
+                        LintIssue(
+                            "undeclared-region",
+                            f"generated source calls ctx.{attr}({name!r}) "
+                            f"but {name!r} is not a declared argument of "
+                            f"{spec.name}",
+                        )
+                    )
+            elif attr == "scalar":
+                name = _const_str(node.args[0]) if node.args else None
+                if name is not None and name not in scalars:
+                    issues.append(
+                        LintIssue(
+                            "undeclared-scalar",
+                            f"generated source calls ctx.scalar({name!r}) "
+                            f"but {name!r} is not in scalar_names of "
+                            f"{spec.name}",
+                        )
+                    )
+    return issues
+
+
+def lint_all(statement, schedule, spec) -> List[LintIssue]:
+    """All three layers at once (statement may be None for spec-only)."""
+    issues: List[LintIssue] = []
+    if statement is not None:
+        issues.extend(lint_statement(statement))
+        issues.extend(lint_schedule(statement, schedule))
+    if spec is not None:
+        issues.extend(lint_kernel_spec(spec))
+    return issues

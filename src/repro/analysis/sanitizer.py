@@ -1,0 +1,49 @@
+"""Privilege sanitizer: make privilege violations fail loudly.
+
+Under validation mode the runtime hands kernels *sanitized* region
+arguments instead of the raw backing arrays:
+
+* ``READ`` arguments become non-writeable NumPy views — a kernel that
+  writes an input raises ``ValueError: assignment destination is
+  read-only`` at the exact faulty statement instead of silently
+  corrupting other shards' data.
+* ``WRITE_DISCARD`` rectangles are NaN-poisoned before the kernel runs —
+  a kernel that *reads* supposedly-discarded contents (or forgets to
+  write part of its rectangle) propagates NaNs into checked numerics
+  instead of silently reusing stale values.  Poisoning is elided for
+  integer dtypes, which have no quiet poison value.
+
+Numerics stay exact for correct kernels: a discard kernel by contract
+overwrites every element of its rectangle, erasing the poison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Rect
+
+
+def readonly_view(array: np.ndarray) -> np.ndarray:
+    """A non-writeable view sharing the array's buffer."""
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+def poison_value(dtype: np.dtype):
+    """The poison for a dtype, or None when it has no quiet poison."""
+    if np.issubdtype(dtype, np.complexfloating):
+        return complex(np.nan, np.nan)
+    if np.issubdtype(dtype, np.floating):
+        return np.nan
+    return None
+
+
+def poison(array: np.ndarray, rect: Rect) -> bool:
+    """NaN-poison a rect of a float/complex array; returns whether it did."""
+    value = poison_value(array.dtype)
+    if value is None or rect.is_empty():
+        return False
+    array[rect.slices()] = value
+    return True

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.analysis import ValidationError
 from repro.constraints.constraint import Align, Broadcast, Explicit, Image, ImageKind
 from repro.constraints.solver import solve_partitions
 from repro.constraints.store import Store
@@ -104,6 +105,25 @@ class AutoTask:
         self._scalar_reduction = op
 
     # ------------------------------------------------------------------
+    def _check_write_disjointness(self, solution) -> None:
+        """Validation mode: exclusive-write partitions must be disjoint.
+
+        Two colors writing overlapping rects under WRITE/WRITE_DISCARD
+        race — only REDUCE tolerates aliased outputs (folds commute).
+        The event-log checker would flag this after the fact; failing
+        here names the offending launch while it is on the stack.
+        """
+        for name, store, privilege in self._args:
+            if privilege not in (Privilege.WRITE, Privilege.WRITE_DISCARD):
+                continue
+            partition = solution[store.region.uid]
+            if partition.color_count > 1 and not partition.is_disjoint():
+                raise ValidationError(
+                    f"task {self.name!r}: {privilege.value} argument "
+                    f"{name!r} has an aliased partition — overlapping "
+                    f"shards would race on region {store.region.name!r}"
+                )
+
     def execute(self) -> Optional[Future]:
         """Solve constraints, launch, update key partitions."""
         colors = self.colors if self.colors is not None else self.runtime.num_procs
@@ -115,6 +135,8 @@ class AutoTask:
             reuse_partitions=self.runtime.config.reuse_partitions,
             exact_images=self.runtime.config.exact_images,
         )
+        if self.runtime.config.validate:
+            self._check_write_disjointness(solution)
         requirements = []
         fold_partition = None
         for name, store, privilege in self._args:

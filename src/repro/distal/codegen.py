@@ -33,8 +33,9 @@ class KernelSpec:
     """Everything a launcher needs to run a generated kernel."""
 
     name: str
-    kernel: Callable
-    cost: Callable
+    # kernel/cost are filled in after the lint pass accepts the source.
+    kernel: Optional[Callable]
+    cost: Optional[Callable]
     source: str
     # (argument name, role) where role in {in, out, inout, reduce}
     args: List[Tuple[str, str]]
@@ -522,7 +523,7 @@ def cost(ctx):
         ("explicit", "y"),  # block-row tiles of pos, scaled by R
         ("explicit", "x"),  # block-column image of crd, scaled by C
     ]
-    return source, args, constraints
+    return source, args, constraints, ["R", "C"]
 
 
 _TEMPLATES: Dict[Tuple[str, str], Callable] = {
@@ -550,23 +551,46 @@ def generate(
     fmt: Format,
     schedule: Optional[Schedule] = None,
     proc_kind: ProcessorKind = ProcessorKind.CPU_SOCKET,
+    check: bool = True,
 ) -> KernelSpec:
-    """Compile a statement for a format and processor kind."""
+    """Compile a statement for a format and processor kind.
+
+    With ``check=True`` (the default) the statement, schedule and
+    emitted source pass the pre-codegen legality lint
+    (:mod:`repro.analysis.lint`); an ill-formed statement, an illegal
+    schedule, or generated code referencing undeclared ``ctx`` names
+    raises :class:`~repro.analysis.lint.DistalLintError` instead of
+    producing a kernel.  Generation happens once per (statement,
+    format, kind) — the registry caches the result — so the lint adds
+    no per-launch cost.
+    """
     key = statement.key()
     template = _TEMPLATES.get((key, fmt.name))
     if template is None:
         raise UnsupportedStatement(
             f"no template for statement {key!r} with format {fmt.name!r}"
         )
-    source, args, constraints = template(proc_kind)
+    parts = template(proc_kind)
+    source, args, constraints = parts[:3]
+    scalar_names = list(parts[3]) if len(parts) > 3 else []
     source = textwrap.dedent(source).strip() + "\n"
     name = f"{fmt.name}:{key}:{proc_kind.value}"
-    namespace = _compile(name, source)
-    return KernelSpec(
+    spec = KernelSpec(
         name=name,
-        kernel=namespace["kernel"],
-        cost=namespace["cost"],
+        kernel=None,
+        cost=None,
         source=source,
         args=args,
         constraints=constraints,
+        scalar_names=scalar_names,
     )
+    if check:
+        from repro.analysis.lint import DistalLintError, lint_all
+
+        issues = lint_all(statement, schedule, spec)
+        if issues:
+            raise DistalLintError(issues)
+    namespace = _compile(name, source)
+    spec.kernel = namespace["kernel"]
+    spec.cost = namespace["cost"]
+    return spec

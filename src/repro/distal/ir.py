@@ -121,5 +121,29 @@ class Assignment:
             seen.append(var)
         return seen
 
+    @property
+    def tensors(self) -> List[Tensor]:
+        """All tensor operands, LHS first, de-duplicated by name."""
+        out: List[Tensor] = []
+        names = set()
+        for access in [self.lhs, *self.rhs.factors]:
+            if access.tensor.name not in names:
+                names.add(access.tensor.name)
+                out.append(access.tensor)
+        return out
+
+    def validate(self) -> None:
+        """Raise :class:`repro.analysis.lint.DistalLintError` if ill-formed.
+
+        Checks that every LHS index variable is bound by an RHS access
+        and every tensor is used with a consistent order — the
+        pre-codegen legality pass of :mod:`repro.analysis.lint`.
+        """
+        from repro.analysis.lint import DistalLintError, lint_statement
+
+        issues = lint_statement(self)
+        if issues:
+            raise DistalLintError(issues)
+
     def __str__(self) -> str:
         return self.key()

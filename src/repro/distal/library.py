@@ -43,12 +43,20 @@ STATEMENTS: Dict[str, Assignment] = {
 }
 
 
-def row_distributed_schedule(kind: ProcessorKind) -> Schedule:
-    """The paper's Fig. 6 schedule: divide rows, distribute, parallelize."""
+def row_distributed_schedule(
+    kind: ProcessorKind, statement: Assignment | None = None
+) -> Schedule:
+    """The paper's Fig. 6 schedule: divide rows, distribute, parallelize.
+
+    When a statement is given, the communicated operands are its actual
+    tensors (so the schedule passes the legality lint for statements
+    whose operands are not literally ``y``/``A``/``x``, e.g. SpMM).
+    """
+    tensors = statement.tensors if statement is not None else [y, A, x]
     return (
         Schedule()
         .divide(i, io, ii)
         .distribute(io)
-        .communicate(io, [y, A, x])
+        .communicate(io, list(tensors))
         .parallelize(ii, kind)
     )

@@ -42,8 +42,12 @@ class KernelRegistry:
             statement = STATEMENTS.get(statement_key)
             if statement is None:
                 raise KeyError(f"unknown statement {statement_key!r}")
-            schedule = row_distributed_schedule(proc_kind)
-            spec = codegen.generate(statement, fmt, schedule, proc_kind)
+            schedule = row_distributed_schedule(proc_kind, statement)
+            # check=True: every kernel entering the registry has passed
+            # the statement/schedule/source legality lint.
+            spec = codegen.generate(
+                statement, fmt, schedule, proc_kind, check=True
+            )
             self._cache[key] = spec
         return spec
 

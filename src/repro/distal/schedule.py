@@ -61,3 +61,14 @@ class Schedule:
         if self.divided is None:
             return None
         return self.divided[0].name
+
+    def check(self, statement) -> None:
+        """Raise :class:`repro.analysis.lint.DistalLintError` when this
+        schedule is illegal for ``statement`` (unknown divided variable,
+        distribution without division, communicated tensors that do not
+        occur in the statement)."""
+        from repro.analysis.lint import DistalLintError, lint_schedule
+
+        issues = lint_schedule(statement, self)
+        if issues:
+            raise DistalLintError(issues)

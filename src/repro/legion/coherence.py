@@ -31,6 +31,10 @@ class RegionCoherence:
 
     # memory uid -> list of disjoint valid pieces with availability times
     valid: Dict[int, List[ValidPiece]] = field(default_factory=dict)
+    # rects ever written through any memory; reads of written data that
+    # is not valid in the reading memory are *stale* — the independent
+    # assertion validation mode checks after staging (repro.analysis).
+    written: RectSet = field(default_factory=RectSet)
 
     # ------------------------------------------------------------------
     def pieces(self, memory_uid: int) -> List[ValidPiece]:
@@ -103,10 +107,22 @@ class RegionCoherence:
         out.append(ValidPiece(rect, time))
         self.valid[memory_uid] = out
 
+    def stale(self, memory_uid: int, rect: Rect) -> List[Rect]:
+        """Pieces of ``rect`` written somewhere but not valid here.
+
+        Unwritten data is never stale: reading it is legal and
+        transfers nothing (attach semantics, see :meth:`find_source`).
+        """
+        need = self.written.intersect_rect(rect)
+        if need.is_empty():
+            return []
+        return need.subtract(self.valid_set(memory_uid)).rects()
+
     def mark_written(self, memory_uid: int, rect: Rect, time: float) -> None:
         """A write: valid here, invalid everywhere else (overlap)."""
         if rect.is_empty():
             return
+        self.written.add(rect)
         for mem_uid in list(self.valid.keys()):
             if mem_uid == memory_uid:
                 continue

@@ -31,6 +31,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import ValidationError
+from repro.analysis.events import EventLog, ReqAccess
+from repro.analysis.recorder import register as _register_log
+from repro.analysis.recorder import validation_default as _validation_default
+from repro.analysis.sanitizer import poison as _poison
+from repro.analysis.sanitizer import readonly_view as _readonly_view
 from repro.geometry import Rect
 from repro.legion.coherence import RegionCoherence
 from repro.legion.future import Future
@@ -95,6 +101,12 @@ class RuntimeConfig:
     # differently: a 2-D grid's halo grows with sqrt(N), a banded
     # matrix's halo not at all, the quantum Hamiltonian's with N.
     comm_scale: float | None = None
+    # Validation mode (repro.analysis): record an event log of every
+    # launch/shard/copy/fold, sanitize kernel arguments (read-only READ
+    # views, NaN-poisoned WRITE_DISCARD rects) and assert reads are
+    # never stale.  Off by default — the hot path then carries only a
+    # handful of ``is not None`` checks.  Defaults from REPRO_VALIDATE.
+    validate: bool = field(default_factory=_validation_default)
 
     @property
     def effective_comm_scale(self) -> float:
@@ -174,6 +186,11 @@ class Runtime:
             inflight_window=self.config.inflight_pool_window,
         )
         self._coherence: Dict[int, RegionCoherence] = {}
+        # Validation mode: the structured event log the offline checker
+        # (python -m repro.analysis) replays.  None when not validating.
+        self.event_log: Optional[EventLog] = None
+        if self.config.validate:
+            self.event_log = _register_log(EventLog(name=self.config.name))
         # Memory-magnification overrides keyed by region dim-0 extent;
         # see Region.mem_scale.
         self.mem_scale_by_extent: Dict[int, float] = {}
@@ -290,6 +307,10 @@ class Runtime:
         colors = task.color_count
         procs = self.scope.processors
         self.profiler.record_task(task.name, colors)
+        log = self.event_log
+        validate = self.config.validate
+        launch_id = log.record_task(task.name, colors) if log is not None else 0
+        privileges = {req.name: req.privilege for req in task.requirements}
         overhead = self.config.launch_overhead
         if self._trace_hook is not None:
             overhead *= self._trace_hook(task.name)
@@ -321,10 +342,19 @@ class Runtime:
             rects: Dict[str, Rect] = {}
             for req in task.requirements:
                 rect = req.partition.rect(color)
-                arrays[req.name] = req.region.data
+                data = req.region.data
+                if validate and not req.privilege.writes:
+                    # Privilege sanitizer: writing a READ argument must
+                    # fail loudly, not corrupt other shards' data.
+                    data = _readonly_view(data)
+                arrays[req.name] = data
                 rects[req.name] = rect
                 if rect.is_empty():
                     continue
+                if validate and req.privilege is Privilege.WRITE_DISCARD:
+                    # Discarded contents must never be observed: poison
+                    # them so reads of undefined data propagate NaNs.
+                    _poison(req.region.data, rect)
                 inst, resize_bytes, fresh = self.instances.ensure(
                     memory, req.region.uid, rect, req.region.itemsize,
                     scale=self._mem_scale(req.region),
@@ -353,7 +383,8 @@ class Runtime:
                         )
 
             ctx = ShardContext(
-                color, colors, arrays, rects, scalar_values, self.config
+                color, colors, arrays, rects, scalar_values, self.config,
+                privileges,
             )
             flops, nbytes = task.cost_fn(ctx)
             scale = self.config.data_scale
@@ -389,10 +420,25 @@ class Runtime:
                         memory.uid, rect, finish
                     )
 
+            if log is not None:
+                log.record_shard(
+                    launch_id, task.name, color, proc.uid, memory.uid,
+                    [
+                        ReqAccess(
+                            req.name, req.region.uid, req.region.name,
+                            rects[req.name], req.privilege.value,
+                            tuple(req.partition.pieces(color))
+                            if req.privilege.reads else (),
+                        )
+                        for req in task.requirements
+                    ],
+                    start, finish,
+                )
+
         for req in task.requirements:
             if req.name in reduce_writes:
                 self._fold_reduction(
-                    task, req, reduce_writes[req.name], colors
+                    task, req, reduce_writes[req.name], colors, launch_id
                 )
 
         if task.reduction is not None:
@@ -411,8 +457,23 @@ class Runtime:
                 src_mem = self._memory_by_uid(src_uid)
                 nbytes = frag.volume() * region.itemsize
                 finish = self._copy(src_mem, memory, nbytes, t_src)
+                if self.event_log is not None:
+                    self.event_log.record_copy(
+                        region.uid, region.name, frag,
+                        src_uid, memory.uid, nbytes,
+                    )
                 coh.mark_valid(memory.uid, frag, finish)
                 t_input = max(t_input, finish)
+        if self.config.validate:
+            # Online stale-read assertion: after staging, every piece of
+            # the rect that was ever written must be valid here.
+            bad = coh.stale(memory.uid, rect)
+            if bad:
+                raise ValidationError(
+                    f"stale read of region {region.name!r}: pieces {bad} "
+                    f"were written but never made valid in memory "
+                    f"{memory.uid}"
+                )
         return t_input
 
     def _fold_reduction(
@@ -421,6 +482,7 @@ class Runtime:
         req: Requirement,
         writes: List[Tuple[Rect, Memory, float]],
         colors: int,
+        launch_id: int = 0,
     ) -> None:
         """Fold per-shard REDUCE contributions onto owner tiles."""
         owner = task.fold_partition or Tiling.create(req.region, colors)
@@ -440,6 +502,11 @@ class Runtime:
                 nbytes = overlap.volume() * req.region.itemsize
                 if src_mem.uid != memory.uid:
                     t_arrive = self._copy(src_mem, memory, nbytes, t_write)
+                    if self.event_log is not None:
+                        self.event_log.record_copy(
+                            req.region.uid, req.region.name, overlap,
+                            src_mem.uid, memory.uid, nbytes, why="fold",
+                        )
                 else:
                     t_arrive = t_write
                 # Read-modify-write fold on the owner processor.
@@ -450,6 +517,11 @@ class Runtime:
                 t_done = max(t_done, t_start + fold_time)
                 self._proc_busy[proc.uid] = t_start + fold_time
             coh.mark_written(memory.uid, tile, t_done)
+            if self.event_log is not None:
+                self.event_log.record_fold(
+                    launch_id, task.name, req.region.uid, req.region.name,
+                    tile, memory.uid,
+                )
 
     def _mem_scale(self, region: Region):
         if region.mem_scale is not None:
@@ -488,6 +560,8 @@ class Runtime:
         t0 = max(ready_times) if ready_times else self.issue_time
         p = len(partials)
         self.profiler.record_allreduce()
+        if self.event_log is not None:
+            self.event_log.record_allreduce(op, p)
         if p <= 1:
             return Future(value, t0 + self.config.allreduce_base_overhead)
         hops = math.ceil(math.log2(p))

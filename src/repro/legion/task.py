@@ -33,7 +33,9 @@ class Requirement:
 class ShardContext:
     """Everything one shard (color) of a task launch sees."""
 
-    __slots__ = ("color", "colors", "arrays", "rects", "scalars", "config")
+    __slots__ = (
+        "color", "colors", "arrays", "rects", "scalars", "config", "privileges",
+    )
 
     def __init__(
         self,
@@ -43,6 +45,7 @@ class ShardContext:
         rects: Dict[str, Rect],
         scalars: Dict[str, Any],
         config,
+        privileges: Optional[Dict[str, Privilege]] = None,
     ):
         self.color = color
         self.colors = colors
@@ -50,9 +53,18 @@ class ShardContext:
         self.rects = rects
         self.scalars = scalars
         self.config = config
+        self.privileges = privileges or {}
 
     def view(self, name: str) -> np.ndarray:
-        """The shard's slice of a region (global array, shard rect)."""
+        """The shard's slice of a region (global array, shard rect).
+
+        Under validation mode (``RuntimeConfig.validate``) the runtime
+        sanitizes the backing arrays before building the context:
+        ``READ`` arguments are non-writeable views (writing one raises)
+        and ``WRITE_DISCARD`` rects arrive NaN-poisoned (reading
+        undefined contents propagates NaNs) — see
+        :mod:`repro.analysis.sanitizer`.
+        """
         return self.arrays[name][self.rects[name].slices()]
 
     def rect(self, name: str) -> Rect:
@@ -72,10 +84,29 @@ CostFn = Callable[[ShardContext], tuple]
 
 
 def default_cost(ctx: ShardContext) -> tuple:
-    """Fallback cost: touch every byte of every argument once."""
-    nbytes = 0
+    """Fallback cost: the roofline bytes each privilege actually moves.
+
+    Read-side bytes are charged for privileges that stage prior contents
+    (READ, WRITE); write-side bytes for privileges that produce new
+    contents (WRITE, WRITE_DISCARD, REDUCE); REDUCE pays the extra
+    read-modify-write pass of the fold.  WRITE_DISCARD arguments are
+    *not* charged read-side bytes — construction kernels do not stage
+    their outputs in.  Without privilege information (contexts built
+    outside the runtime) every argument is charged one touch per byte.
+    """
+    nbytes = 0.0
     for name, rect in ctx.rects.items():
-        nbytes += rect.volume() * ctx.arrays[name].dtype.itemsize
+        itembytes = rect.volume() * ctx.arrays[name].dtype.itemsize
+        priv = ctx.privileges.get(name)
+        if priv is None:
+            nbytes += itembytes
+            continue
+        if priv.reads:
+            nbytes += itembytes
+        if priv.writes:
+            nbytes += itembytes
+        if priv is Privilege.REDUCE:
+            nbytes += itembytes
     return (0.0, float(nbytes))
 
 
@@ -97,5 +128,7 @@ class TaskLaunch:
 
     @property
     def color_count(self) -> int:
-        """The launch color space (max over partitions)."""
-        return max(r.partition.color_count for r in self.requirements)
+        """The launch color space (max over partitions; 1 if no regions)."""
+        return max(
+            (r.partition.color_count for r in self.requirements), default=1
+        )

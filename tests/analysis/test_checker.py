@@ -1,0 +1,184 @@
+"""The offline checker catches seeded races, stale reads and bad copies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ValidationError, check_log
+from repro.analysis.events import EventLog, ReqAccess
+from repro.constraints import AutoTask, Store
+from repro.geometry import Rect
+from repro.legion import (
+    Privilege,
+    Requirement,
+    Runtime,
+    RuntimeConfig,
+    TaskLaunch,
+    Tiling,
+)
+from repro.legion.partition import ExplicitPartition
+from repro.machine import ProcessorKind, laptop
+
+
+def validated_runtime(gpus=2):
+    cfg = RuntimeConfig.legate(validate=True)
+    return Runtime(laptop().scope(ProcessorKind.GPU, gpus), cfg)
+
+
+class TestIntraLaunchRace:
+    def test_overlapping_write_shards_flagged(self):
+        """Seeded violation: two shards WRITE overlapping rects."""
+        rt = validated_runtime()
+        region = rt.create_region((100,), np.float64, name="out")
+        # Aliased explicit partition: both colors own [40, 60).
+        bad = ExplicitPartition(
+            region, [Rect((0,), (60,)), Rect((40,), (100,))]
+        )
+
+        def kernel(ctx):
+            ctx.view("out")[...] = ctx.color
+
+        rt.launch(
+            TaskLaunch(
+                "aliased-writer",
+                [Requirement("out", region, bad, Privilege.WRITE_DISCARD)],
+                kernel,
+            )
+        )
+        violations = check_log(rt.event_log)
+        rt.event_log.clear()
+        assert any(v.kind == "intra-launch-race" for v in violations)
+        msg = next(v for v in violations if v.kind == "intra-launch-race")
+        assert "aliased-writer" in msg.message
+        assert msg.region == "out"
+
+    def test_reduce_shards_may_alias(self):
+        """Commutative folds on the same rect are not a race."""
+        log = EventLog()
+        launch = log.record_task("accumulate", 2)
+        rect = Rect((0,), (10,))
+        for color in range(2):
+            log.record_shard(
+                launch, "accumulate", color, color, color,
+                [ReqAccess("acc", 1, "acc", rect, "reduce")],
+                0.0, 1.0,
+            )
+        assert check_log(log) == []
+
+
+class TestStaleRead:
+    def test_hand_built_stale_read(self):
+        """A read in a memory no copy ever filled is flagged."""
+        log = EventLog()
+        rect = Rect((0,), (8,))
+        w = log.record_task("writer", 1)
+        log.record_shard(
+            w, "writer", 0, 0, 0,
+            [ReqAccess("v", 1, "v", rect, "write-discard")],
+            0.0, 1.0,
+        )
+        r = log.record_task("reader", 1)
+        # Reads in memory 1, but the data was written in memory 0 and
+        # never copied over.
+        log.record_shard(
+            r, "reader", 0, 1, 1,
+            [ReqAccess("v", 1, "v", rect, "read")],
+            1.0, 2.0,
+        )
+        violations = check_log(log)
+        assert [v.kind for v in violations] == ["stale-read"]
+
+    def test_copy_justifies_the_read(self):
+        log = EventLog()
+        rect = Rect((0,), (8,))
+        w = log.record_task("writer", 1)
+        log.record_shard(
+            w, "writer", 0, 0, 0,
+            [ReqAccess("v", 1, "v", rect, "write-discard")],
+            0.0, 1.0,
+        )
+        log.record_copy(1, "v", rect, 0, 1, 64)
+        r = log.record_task("reader", 1)
+        log.record_shard(
+            r, "reader", 0, 1, 1,
+            [ReqAccess("v", 1, "v", rect, "read")],
+            1.0, 2.0,
+        )
+        assert check_log(log) == []
+
+    def test_copy_from_invalid_source(self):
+        log = EventLog()
+        rect = Rect((0,), (8,))
+        w = log.record_task("writer", 1)
+        log.record_shard(
+            w, "writer", 0, 0, 0,
+            [ReqAccess("v", 1, "v", rect, "write-discard")],
+            0.0, 1.0,
+        )
+        # Copies out of memory 2, which never held the written data.
+        log.record_copy(1, "v", rect, 2, 1, 64)
+        violations = check_log(log)
+        assert any(v.kind == "copy-from-invalid" for v in violations)
+
+
+class TestCleanRuns:
+    def test_tiled_pipeline_is_clean(self):
+        """Disjoint writes then tiled reads: the runtime's own copies
+        justify every access."""
+        rt = validated_runtime()
+        region = rt.create_region((64,), np.float64, name="v")
+        tiles = Tiling.create(region, 2)
+
+        def writer(ctx):
+            ctx.view("v")[...] = ctx.color + 1.0
+
+        def reader(ctx):
+            ctx.view("v").sum()
+
+        rt.launch(
+            TaskLaunch(
+                "w", [Requirement("v", region, tiles, Privilege.WRITE_DISCARD)],
+                writer,
+            )
+        )
+        rt.launch(
+            TaskLaunch(
+                "r", [Requirement("v", region, tiles, Privilege.READ)], reader
+            )
+        )
+        violations = check_log(rt.event_log)
+        rt.event_log.clear()
+        assert violations == []
+        assert np.all(region.data[:32] == 1.0)
+        assert np.all(region.data[32:] == 2.0)
+
+
+class TestAutoTaskDisjointness:
+    def test_aliased_write_partition_raises(self):
+        """The online pre-check names the launch before it runs."""
+        rt = validated_runtime()
+        store = Store.create((100,), np.float64, name="out", runtime=rt)
+        task = AutoTask(rt, "bad-writer", lambda ctx: None)
+        task.add_output("out", store)
+        task.add_explicit_partition(
+            store,
+            ExplicitPartition(
+                store.region, [Rect((0,), (60,)), Rect((40,), (100,))]
+            ),
+        )
+        with pytest.raises(ValidationError, match="bad-writer"):
+            task.execute()
+        rt.event_log.clear()
+
+    def test_disjoint_write_partition_is_fine(self):
+        rt = validated_runtime()
+        store = Store.create((100,), np.float64, name="out", runtime=rt)
+
+        def kernel(ctx):
+            ctx.view("out")[...] = 1.0
+
+        task = AutoTask(rt, "good-writer", kernel)
+        task.add_output("out", store)
+        task.execute()
+        violations = check_log(rt.event_log)
+        rt.event_log.clear()
+        assert violations == []

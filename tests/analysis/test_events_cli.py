@@ -1,0 +1,143 @@
+"""Event-log serialization and the ``python -m repro.analysis`` CLI."""
+
+import numpy as np
+
+from repro.analysis.cli import main
+from repro.analysis.events import EventLog, ReqAccess
+from repro.geometry import Rect
+from repro.legion import (
+    Privilege,
+    Requirement,
+    Runtime,
+    RuntimeConfig,
+    TaskLaunch,
+    Tiling,
+)
+from repro.machine import ProcessorKind, laptop
+
+
+def _sample_log():
+    log = EventLog(name="sample")
+    rect = Rect((0,), (8,))
+    w = log.record_task("writer", 2)
+    log.record_shard(
+        w, "writer", 0, 0, 0,
+        [ReqAccess("v", 1, "v", Rect((0,), (4,)), "write-discard")],
+        0.0, 1.0,
+    )
+    log.record_shard(
+        w, "writer", 1, 1, 1,
+        [
+            ReqAccess(
+                "v", 1, "v", Rect((4,), (8,)), "read",
+                pieces=(Rect((4,), (6,)), Rect((7,), (8,))),
+            )
+        ],
+        0.0, 1.0,
+    )
+    log.record_copy(1, "v", rect, 0, 1, 64)
+    log.record_fold(w, "writer", 1, "v", rect, 0)
+    log.record_allreduce("sum", 2)
+    return log
+
+
+class TestSerialization:
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = _sample_log()
+        path = str(tmp_path / "run.jsonl")
+        log.save(path)
+        loaded = EventLog.load(path)
+        assert loaded.events == log.events
+        assert loaded.stats() == log.stats()
+
+    def test_exact_pieces_survive(self, tmp_path):
+        log = _sample_log()
+        path = str(tmp_path / "run.jsonl")
+        log.save(path)
+        shard = EventLog.load(path).events[2]
+        assert shard.reqs[0].pieces == (Rect((4,), (6,)), Rect((7,), (8,)))
+        assert shard.reqs[0].read_pieces == shard.reqs[0].pieces
+
+    def test_runtime_log_saves(self, tmp_path):
+        rt = Runtime(
+            laptop().scope(ProcessorKind.GPU, 2),
+            RuntimeConfig.legate(validate=True),
+        )
+        region = rt.create_region((16,), np.float64, data=np.ones(16))
+        rt.launch(
+            TaskLaunch(
+                "r",
+                [
+                    Requirement(
+                        "v", region, Tiling.create(region, 2), Privilege.READ
+                    )
+                ],
+                lambda ctx: None,
+            )
+        )
+        path = str(tmp_path / "run.jsonl")
+        rt.event_log.save(path)
+        rt.event_log.clear()
+        loaded = EventLog.load(path)
+        assert loaded.stats()["shard"] == 2
+
+
+class TestCli:
+    def test_clean_log_exits_zero(self, tmp_path, capsys):
+        path = str(tmp_path / "clean.jsonl")
+        log = EventLog()
+        t = log.record_task("t", 1)
+        log.record_shard(
+            t, "t", 0, 0, 0,
+            [ReqAccess("v", 1, "v", Rect((0,), (4,)), "write-discard")],
+            0.0, 1.0,
+        )
+        log.save(path)
+        assert main([path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_violating_log_exits_one(self, tmp_path, capsys):
+        path = str(tmp_path / "racy.jsonl")
+        log = EventLog()
+        t = log.record_task("t", 2)
+        for color in range(2):
+            log.record_shard(
+                t, "t", color, color, color,
+                [ReqAccess("v", 1, "v", Rect((0,), (4,)), "write-discard")],
+                0.0, 1.0,
+            )
+        log.save(path)
+        assert main([path]) == 1
+        out = capsys.readouterr().out
+        assert "intra-launch-race" in out and "FAILED" in out
+
+    def test_max_caps_reported_violations(self, tmp_path, capsys):
+        path = str(tmp_path / "racy.jsonl")
+        log = EventLog()
+        t = log.record_task("t", 4)
+        for color in range(4):
+            log.record_shard(
+                t, "t", color, color, color,
+                [ReqAccess("v", 1, "v", Rect((0,), (4,)), "write-discard")],
+                0.0, 1.0,
+            )
+        log.save(path)
+        assert main([path, "--max", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "2 violation(s)" in out
+
+    def test_stats_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        _sample_log().save(path)
+        main([path, "--stats"])
+        out = capsys.readouterr().out
+        for kind in ("task", "shard", "copy", "fold", "allreduce"):
+            assert kind in out
+
+    def test_unreadable_log_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main([missing]) == 2
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text('{"kind": "task"}\n')  # missing fields
+        assert main([str(garbage)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,129 @@
+"""Privilege sanitizer: READ is unwriteable, WRITE_DISCARD is poisoned."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import poison, poison_value, readonly_view
+from repro.geometry import Rect
+from repro.legion import (
+    Privilege,
+    Requirement,
+    Runtime,
+    RuntimeConfig,
+    TaskLaunch,
+    Tiling,
+)
+from repro.machine import ProcessorKind, laptop
+
+
+def _runtime(validate):
+    cfg = RuntimeConfig.legate(validate=validate)
+    return Runtime(laptop().scope(ProcessorKind.GPU, 2), cfg)
+
+
+class TestUnits:
+    def test_readonly_view_shares_buffer(self):
+        base = np.zeros(4)
+        view = readonly_view(base)
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+        base[0] = 2.0
+        assert view[0] == 2.0  # same buffer, still readable
+
+    def test_poison_values(self):
+        assert np.isnan(poison_value(np.dtype(np.float64)))
+        assert np.isnan(poison_value(np.dtype(np.complex128)).real)
+        assert poison_value(np.dtype(np.int64)) is None
+
+    def test_poison_rect_only(self):
+        arr = np.zeros(10)
+        assert poison(arr, Rect((2,), (5,)))
+        assert np.all(np.isnan(arr[2:5]))
+        assert np.all(arr[:2] == 0) and np.all(arr[5:] == 0)
+
+    def test_poison_skips_ints(self):
+        arr = np.zeros(10, np.int64)
+        assert not poison(arr, Rect((0,), (10,)))
+        assert np.all(arr == 0)
+
+
+class TestRuntimeSanitization:
+    def test_kernel_writing_read_arg_raises(self):
+        """Seeded violation: a kernel writes its READ argument."""
+        rt = _runtime(validate=True)
+        region = rt.create_region((32,), np.float64, data=np.ones(32))
+        tiles = Tiling.create(region, 2)
+
+        def rogue(ctx):
+            ctx.view("inp")[...] = 0.0  # privilege violation
+
+        with pytest.raises(ValueError, match="read-only"):
+            rt.launch(
+                TaskLaunch(
+                    "rogue",
+                    [Requirement("inp", region, tiles, Privilege.READ)],
+                    rogue,
+                )
+            )
+        rt.event_log.clear()
+        assert np.all(region.data == 1.0)  # backing data untouched
+
+    def test_discard_rects_arrive_poisoned(self):
+        rt = _runtime(validate=True)
+        region = rt.create_region((32,), np.float64, data=np.ones(32))
+        tiles = Tiling.create(region, 2)
+        saw_nan = []
+
+        def kernel(ctx):
+            view = ctx.view("out")
+            saw_nan.append(bool(np.all(np.isnan(view))))
+            view[...] = 3.0
+
+        rt.launch(
+            TaskLaunch(
+                "builder",
+                [Requirement("out", region, tiles, Privilege.WRITE_DISCARD)],
+                kernel,
+            )
+        )
+        rt.event_log.clear()
+        assert saw_nan == [True, True]
+        assert np.all(region.data == 3.0)  # poison fully overwritten
+
+    def test_integer_discard_not_poisoned(self):
+        rt = _runtime(validate=True)
+        region = rt.create_region((32,), np.int64, data=np.arange(32))
+        tiles = Tiling.create(region, 2)
+        seen = []
+
+        def kernel(ctx):
+            seen.append(ctx.view("out").copy())
+            ctx.view("out")[...] = 0
+
+        rt.launch(
+            TaskLaunch(
+                "int-builder",
+                [Requirement("out", region, tiles, Privilege.WRITE_DISCARD)],
+                kernel,
+            )
+        )
+        rt.event_log.clear()
+        assert np.array_equal(np.concatenate(seen), np.arange(32))
+
+    def test_no_sanitizing_when_validation_off(self):
+        """validate=False is the hot path: raw views, no poison, no log."""
+        rt = _runtime(validate=False)
+        region = rt.create_region((32,), np.float64, data=np.ones(32))
+        tiles = Tiling.create(region, 2)
+
+        def rogue(ctx):
+            ctx.view("inp")[...] = 0.0  # tolerated (and uncaught)
+
+        rt.launch(
+            TaskLaunch(
+                "rogue",
+                [Requirement("inp", region, tiles, Privilege.READ)],
+                rogue,
+            )
+        )
+        assert rt.event_log is None

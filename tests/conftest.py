@@ -1,0 +1,41 @@
+"""Suite-wide fixtures: opt-in validation mode (``REPRO_VALIDATE=1``).
+
+With ``REPRO_VALIDATE=1`` every runtime created during the suite records
+an event log, sanitizes kernel arguments, and asserts reads are never
+stale; after each test the offline checker (:mod:`repro.analysis`)
+replays every log recorded during that test and fails the test on any
+race, stale read or invalid copy.  This is how the whole tier-1 suite
+doubles as a validation corpus — ``make check`` runs a smoke slice of
+it.
+"""
+
+import os
+
+import pytest
+
+VALIDATE = os.environ.get("REPRO_VALIDATE", "").strip() not in ("", "0")
+
+
+if VALIDATE:
+
+    @pytest.fixture(autouse=True)
+    def _validated_run():
+        """Replay every event log recorded by this test through the checker."""
+        from repro.analysis import active_logs, check_log
+
+        # Events recorded before this test (e.g. by session fixtures or
+        # a previous test's long-lived runtime) were already checked and
+        # cleared; start from a clean slate regardless.
+        for log in active_logs():
+            log.clear()
+        yield
+        failures = []
+        for log in active_logs():
+            for violation in check_log(log):
+                failures.append(f"{log.name}: {violation}")
+            log.clear()
+        if failures:
+            pytest.fail(
+                "event-log validation failed:\n"
+                + "\n".join(f"  {f}" for f in failures)
+            )

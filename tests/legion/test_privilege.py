@@ -1,0 +1,69 @@
+"""Privilege semantics: truth table, launch shape, and cost charging."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.legion.privilege import Privilege
+from repro.legion.task import ShardContext, TaskLaunch, default_cost
+
+
+class TestTruthTable:
+    """reads/writes for every privilege, including REDUCE."""
+
+    @pytest.mark.parametrize(
+        "priv,reads,writes",
+        [
+            (Privilege.READ, True, False),
+            (Privilege.WRITE, True, True),
+            (Privilege.WRITE_DISCARD, False, True),
+            (Privilege.REDUCE, False, True),
+        ],
+    )
+    def test_reads_writes(self, priv, reads, writes):
+        assert priv.reads is reads
+        assert priv.writes is writes
+
+    def test_values_are_log_strings(self):
+        # The event log serializes privileges by value; these strings are
+        # load-bearing for the offline checker.
+        assert {p.value for p in Privilege} == {
+            "read", "write", "write-discard", "reduce"
+        }
+
+
+class TestColorCount:
+    def test_no_requirements_is_single_color(self):
+        # Regression: max() over an empty requirement list used to raise
+        # ValueError; a region-free launch runs as one shard.
+        launch = TaskLaunch("scalar-only", [], lambda ctx: None)
+        assert launch.color_count == 1
+
+
+def _ctx(privileges):
+    n = 16
+    arrays = {name: np.zeros(n) for name in privileges}
+    rects = {name: Rect((0,), (n,)) for name in privileges}
+    return ShardContext(0, 1, arrays, rects, {}, None, privileges=privileges)
+
+
+class TestDefaultCost:
+    def test_discard_charges_half_of_write(self):
+        write = default_cost(_ctx({"a": Privilege.WRITE}))[1]
+        discard = default_cost(_ctx({"a": Privilege.WRITE_DISCARD}))[1]
+        assert write == 2 * discard  # no read-side staging for discard
+
+    def test_read_matches_discard(self):
+        read = default_cost(_ctx({"a": Privilege.READ}))[1]
+        discard = default_cost(_ctx({"a": Privilege.WRITE_DISCARD}))[1]
+        assert read == discard == 16 * 8
+
+    def test_reduce_pays_rmw(self):
+        reduce = default_cost(_ctx({"a": Privilege.REDUCE}))[1]
+        assert reduce == 2 * 16 * 8
+
+    def test_no_privileges_falls_back_to_one_touch(self):
+        ctx = ShardContext(
+            0, 1, {"a": np.zeros(16)}, {"a": Rect((0,), (16,))}, {}, None
+        )
+        assert default_cost(ctx)[1] == 16 * 8
