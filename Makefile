@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test validate check lint
+.PHONY: test validate check lint advise
 
 test:
 	python -m pytest -x -q
@@ -17,3 +17,8 @@ lint:
 
 check:
 	sh scripts/check.sh
+
+# Static advisor on the demo program: predicted partitions, traffic and
+# footprint on a 4-node summit, no kernels executed.
+advise:
+	python -m repro.analysis advise examples/advisor_demo.py --machine summit:4

@@ -1,0 +1,42 @@
+"""Seeded advisor violations: several lint rules have a trigger in here.
+
+Used by the CLI tests (and handy as a demo of what the advisor flags):
+
+    python -m repro.analysis advise examples/advisor_violations.py \\
+        --data-scale 4e4
+
+exits non-zero: the ``toarray`` densification crosses the 1 GiB error
+threshold once the data scale magnifies it, and a laptop framebuffer
+overflows on the scaled footprints.  At ``--data-scale 1`` the same
+program only draws warnings/notes.
+"""
+
+
+def main():
+    import numpy as np
+    import scipy.sparse as sps
+
+    import repro.numeric as rnp
+    import repro.sparse as sp
+
+    n = 1800
+    diags = [np.full(n - 1, -1.0), np.full(n, 2.0), np.full(n - 1, -1.0)]
+    A = sp.csr_matrix(sps.diags(diags, [-1, 0, 1]).tocsr())
+
+    # densify: materializes an n*n dense array from the sparse matrix.
+    dense = A.toarray()
+    del dense
+
+    # convert round-trip: csr -> csc -> csr for no structural reason.
+    back = A.tocsc().tocsr()
+
+    # dead write: the zeros fill is discarded unread by the refill.
+    x = rnp.zeros(n)
+    x.fill(1.0)
+
+    y = back @ x
+    print(float(y.sum()))
+
+
+if __name__ == "__main__":
+    main()

@@ -29,4 +29,14 @@ REPRO_VALIDATE=1 python -m pytest -x -q \
     tests/legion/test_exact_images.py \
     tests/integration
 
+echo "== advisor smoke (static trace, no kernels) =="
+python -m repro.analysis advise examples/advisor_demo.py \
+    --machine summit:4 -- --maxiter 2 > /dev/null
+# The seeded-violations program must make the advisor exit non-zero.
+if python -m repro.analysis advise examples/advisor_violations.py \
+    --data-scale 4e4 > /dev/null 2>&1; then
+    echo "advisor failed to flag seeded violations" >&2
+    exit 1
+fi
+
 echo "== all checks passed =="

@@ -16,10 +16,19 @@ the DISTAL code generator runs :mod:`repro.analysis.lint` over every
 statement, schedule and emitted kernel before registering it.
 
 This package deliberately imports nothing from :mod:`repro.legion` or
-:mod:`repro.distal` so the runtime can import it without cycles.
+:mod:`repro.distal` so the runtime can import it without cycles.  The
+one exception is the *static advisor* (:mod:`repro.analysis.advisor`),
+which replays plans through the real solver and machine model and so
+sits above those layers — it is therefore exposed lazily (module
+``__getattr__``) rather than imported here, and reached via
+``python -m repro.analysis advise`` or ``from repro.analysis import
+advisor``.  The plan-capture types (:mod:`repro.analysis.plan`) and the
+kernel cost models (:mod:`repro.analysis.costmodel`) keep the no-cycle
+rule and are imported eagerly.
 """
 
 from repro.analysis.checker import Violation, check_log
+from repro.analysis.costmodel import KernelModel, for_task_name, get_model
 from repro.analysis.events import (
     AllreduceEvent,
     CopyEvent,
@@ -37,6 +46,7 @@ from repro.analysis.lint import (
     lint_schedule,
     lint_statement,
 )
+from repro.analysis.plan import PlanNote, PlanOp, PlanRegion, PlanTrace
 from repro.analysis.recorder import (
     active_logs,
     drain_logs,
@@ -45,31 +55,61 @@ from repro.analysis.recorder import (
     validation_default,
 )
 
+# Advisor symbols resolved lazily (see the module docstring).
+_LAZY_ADVISOR = {
+    "advisor", "Advice", "AdvisorConfig", "Finding", "advise", "analyze",
+    "trace",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_ADVISOR:
+        import repro.analysis.advisor as _advisor
+
+        if name == "advisor":
+            return _advisor
+        return getattr(_advisor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 class ValidationError(RuntimeError):
     """An online validation check failed (stale read, bad partition)."""
 
 
 __all__ = [
+    "Advice",
+    "AdvisorConfig",
     "AllreduceEvent",
     "CopyEvent",
     "DistalLintError",
     "EventLog",
+    "Finding",
     "FoldEvent",
+    "KernelModel",
     "LintIssue",
+    "PlanNote",
+    "PlanOp",
+    "PlanRegion",
+    "PlanTrace",
     "ReqAccess",
     "ShardEvent",
     "TaskEvent",
     "ValidationError",
     "Violation",
     "active_logs",
+    "advise",
+    "advisor",
+    "analyze",
     "check_log",
     "drain_logs",
+    "for_task_name",
+    "get_model",
     "lint_all",
     "lint_kernel_spec",
     "lint_schedule",
     "lint_statement",
     "register",
     "set_validation_default",
+    "trace",
     "validation_default",
 ]

@@ -1,10 +1,15 @@
-"""Command-line entry point: validate a recorded event log.
+"""Command-line entry points for the analysis tooling.
 
-Usage::
+Two subcommands share ``python -m repro.analysis``:
 
-    python -m repro.analysis run.jsonl            # check, exit 1 on violations
-    python -m repro.analysis run.jsonl --stats    # also print event counts
-    python -m repro.analysis run.jsonl --max 10   # cap reported violations
+* ``python -m repro.analysis <run.jsonl>`` — the PR-1 checker: replay a
+  recorded event log and report races, stale reads, invalid copies.
+* ``python -m repro.analysis advise <prog.py> [--machine summit:4]`` —
+  the static advisor: run the program in deferred-trace mode (no
+  kernels execute), predict partitions, communication and footprint on
+  the requested machine, lint the plan, and print the report.  Exits 1
+  when the lint battery finds errors (densification over threshold,
+  capacity overflow, unsolvable constraints).
 
 Logs are produced by running any program with ``RuntimeConfig``
 ``validate=True`` (or ``REPRO_VALIDATE=1`` in the environment) and
@@ -14,7 +19,10 @@ calling ``runtime.event_log.save(path)``.
 from __future__ import annotations
 
 import argparse
+import json
+import runpy
 import sys
+import traceback
 from typing import List, Optional
 
 from repro.analysis.checker import check_log
@@ -38,8 +46,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Run the checker over a log file; returns the process exit code."""
+def build_advise_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis advise",
+        description="Statically analyze a sparse program: trace it in "
+        "deferred mode (kernels are skipped), predict partition choices, "
+        "communication volume per channel class and per-memory peak "
+        "footprint on a machine model, and lint for densification, "
+        "conversion churn, broadcasts and capacity overflow.",
+    )
+    parser.add_argument("program", help="Python program to trace")
+    parser.add_argument(
+        "--machine", default="laptop", metavar="SPEC",
+        help="machine model: laptop or summit[:nodes] (default laptop)",
+    )
+    parser.add_argument(
+        "--kind", choices=["gpu", "cpu", "core"], default="gpu",
+        help="processor kind to run on (default gpu)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=None, metavar="N",
+        help="processors in the scope (default: all of the kind)",
+    )
+    parser.add_argument(
+        "--per-node", type=int, default=None, metavar="N",
+        help="cap processors taken per node",
+    )
+    parser.add_argument(
+        "--data-scale", type=float, default=1.0, metavar="X",
+        help="problem magnification applied to footprints/volumes "
+        "(trace at reduced size, analyze at paper scale)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "args", nargs="*", metavar="...",
+        help="arguments passed to the traced program "
+        "(separate with -- to pass options through)",
+    )
+    return parser
+
+
+def _check_main(argv: Optional[List[str]]) -> int:
     args = build_parser().parse_args(argv)
     try:
         log = EventLog.load(args.logfile)
@@ -57,6 +106,71 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     print(f"OK: {len(log)} events, no violations")
     return 0
+
+
+def _advise_main(argv: List[str]) -> int:
+    # Everything after a literal "--" belongs to the traced program.
+    passthrough: List[str] = []
+    if "--" in argv:
+        split = argv.index("--")
+        argv, passthrough = argv[:split], argv[split + 1 :]
+    args = build_advise_parser().parse_args(argv)
+    args.args = list(args.args) + passthrough
+    # Imported here, not at module top: the advisor sits above the
+    # runtime layers (see repro.analysis.__init__ on the cycle rule).
+    from repro.analysis.advisor import analyze, parse_machine, _make_scope
+    from repro.analysis.plan import PlanTrace
+    from repro.legion.runtime import Runtime, RuntimeConfig, runtime_scope
+
+    try:
+        machine = parse_machine(args.machine)
+        scope = _make_scope(machine, args.kind, args.procs, args.per_node)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    config = RuntimeConfig.legate(validate=False, data_scale=args.data_scale)
+    runtime = Runtime(scope, config)
+    plan = PlanTrace(name=args.program, deferred=True)
+    plan.bind(runtime)
+    runtime.plan_trace = plan
+    saved_argv = sys.argv
+    sys.argv = [args.program] + list(args.args)
+    try:
+        with runtime_scope(runtime):
+            runpy.run_path(args.program, run_name="__main__")
+    except SystemExit as exc:  # traced programs may call sys.exit(0)
+        if exc.code not in (None, 0):
+            print(
+                f"error: traced program exited with {exc.code}",
+                file=sys.stderr,
+            )
+            return 2
+    except Exception:
+        traceback.print_exc()
+        print(
+            f"error: traced program {args.program!r} raised during the "
+            f"deferred trace", file=sys.stderr,
+        )
+        return 2
+    finally:
+        sys.argv = saved_argv
+        runtime.plan_trace = None
+
+    advice = analyze(plan)
+    if args.json:
+        print(json.dumps(advice.to_dict(), indent=2))
+    else:
+        print(advice.format_text())
+    return 1 if advice.errors else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch ``advise`` or the legacy checker; returns the exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "advise":
+        return _advise_main(argv[1:])
+    return _check_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

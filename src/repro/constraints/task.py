@@ -127,6 +127,21 @@ class AutoTask:
     def execute(self) -> Optional[Future]:
         """Solve constraints, launch, update key partitions."""
         colors = self.colors if self.colors is not None else self.runtime.num_procs
+        plan = self.runtime.plan_trace
+        if plan is not None:
+            # Advisor capture (repro.analysis.plan): record the launch —
+            # stores, privileges, constraints, resolved color count — so
+            # the static predictor can replay the solver and mapper.
+            plan.record_task_op(
+                self.name, self._args, self._constraints, self._scalars,
+                self._scalar_reduction, colors, self.cost_fn,
+            )
+            if plan.deferred:
+                # Deferred trace: skip solve/launch entirely; scalar
+                # reductions resolve to the plan's policy placeholder.
+                if self._scalar_reduction is not None:
+                    return Future(plan.deferred_scalar(self.name), 0.0)
+                return None
         stores = [store for _, store, _ in self._args]
         solution = solve_partitions(
             stores,
@@ -163,7 +178,7 @@ class AutoTask:
         )
         result = self.runtime.launch(launch)
 
-        for name, store, privilege in self._args:
+        for _name, store, privilege in self._args:
             if not privilege.writes:
                 continue
             partition = solution[store.region.uid]

@@ -65,6 +65,36 @@ class spmatrix:
         """The runtime this matrix belongs to."""
         return self._runtime
 
+    def _advisor_note(self, category: str, **info) -> None:
+        """Annotate an advisor plan trace, when one is capturing.
+
+        Format classes call this at densification and conversion sites;
+        with no trace attached it is a single attribute check.
+        """
+        plan = getattr(self._runtime, "plan_trace", None)
+        if plan is not None:
+            plan.record_note(category, **info)
+
+    def _note_densify(self, where: str) -> None:
+        rows, cols = self.shape
+        self._advisor_note(
+            "densify",
+            where=where,
+            fmt=self.format,
+            shape=self.shape,
+            nbytes=rows * cols * self.dtype.itemsize,
+        )
+
+    def _note_convert(self, dst_fmt: str, result=None) -> None:
+        self._advisor_note(
+            "convert",
+            src_fmt=self.format,
+            dst_fmt=dst_fmt,
+            src_id=id(self),
+            dst_id=None if result is None else id(result),
+            nbytes=self.nnz * self.dtype.itemsize,
+        )
+
     # -- conversions (each format implements tocoo + tocsr) -------------
     def tocoo(self):
         """Convert to COO."""

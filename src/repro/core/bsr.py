@@ -15,6 +15,7 @@ import numpy as np
 
 import repro.numeric as rnp
 from repro.constraints import Store
+from repro.core import validation
 from repro.core.base import spmatrix
 from repro.distal.formats import BSR
 from repro.distal.registry import get_registry, launch
@@ -53,6 +54,14 @@ class bsr_matrix(spmatrix):
             data = np.asarray(data)
             if data.ndim != 3:
                 raise ValueError("BSR data must be (nblocks, R, C)")
+            validation.check_bsr_shape(shape, data.shape[1:])
+            indices = validation.as_index_array(indices, "indices")
+            indptr = validation.as_index_array(indptr, "indptr")
+            if len(indices) != data.shape[0]:
+                raise ValueError(
+                    f"indices length ({len(indices)}) does not match the "
+                    f"block count in data ({data.shape[0]})"
+                )
             mat = sps.bsr_matrix((data, indices, indptr), shape=shape)
             self._init_from_scipy(mat, dtype)
             return
@@ -175,7 +184,9 @@ class bsr_matrix(spmatrix):
             ),
             shape=self.shape,
         )
-        return csr_matrix(mat.tocsr())
+        result = csr_matrix(mat.tocsr())
+        self._note_convert("csr", result)
+        return result
 
     def tocoo(self):
         """Convert through CSR."""

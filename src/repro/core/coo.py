@@ -8,6 +8,7 @@ import numpy as np
 
 import repro.numeric as rnp
 from repro.constraints import Store
+from repro.core import validation
 from repro.core.base import spmatrix
 from repro.distal.formats import COO
 from repro.distal.registry import get_registry, launch
@@ -47,22 +48,20 @@ class coo_matrix(spmatrix):
             return
         if isinstance(arg1, tuple) and len(arg1) == 2:
             data, (row, col) = arg1
-            row = np.asarray(row, np.int64)
-            col = np.asarray(col, np.int64)
+            data, row, col = validation.check_coo_host(data, row, col, shape)
             if shape is None:
                 shape = (
                     int(row.max()) + 1 if len(row) else 0,
                     int(col.max()) + 1 if len(col) else 0,
                 )
-            self._init_from_host(row, col, np.asarray(data), shape, dtype)
+            self._init_from_host(row, col, data, shape, dtype)
             return
         raise TypeError(f"cannot construct coo_matrix from {type(arg1).__name__}")
 
     def _init_from_host(self, row, col, data, shape, dtype):
-        # Canonicalize: sort by (row, col), sum duplicates.
-        row = np.asarray(row, np.int64)
-        col = np.asarray(col, np.int64)
-        data = np.asarray(data)
+        # Validate before canonicalizing: a negative row index would
+        # silently corrupt the np.add.at scatter downstream.
+        data, row, col = validation.check_coo_host(data, row, col, shape)
         order = np.lexsort((col, row))
         row, col, data = row[order], col[order], data[order]
         if len(row):
@@ -175,12 +174,15 @@ class coo_matrix(spmatrix):
                 runtime=self._runtime,
                 name="pos",
             )
-            return csr_matrix._from_stores(pos, self.col_store, self.vals, self.shape)
-        return csr_matrix(
-            (self.vals.data.copy(), (row.copy(), col.copy())),
-            shape=self.shape,
-            dtype=self.dtype,
-        )
+            result = csr_matrix._from_stores(pos, self.col_store, self.vals, self.shape)
+        else:
+            result = csr_matrix(
+                (self.vals.data.copy(), (row.copy(), col.copy())),
+                shape=self.shape,
+                dtype=self.dtype,
+            )
+        self._note_convert("csr", result)
+        return result
 
     def todia(self):
         """Host conversion to diagonal storage."""
@@ -194,10 +196,15 @@ class coo_matrix(spmatrix):
         dmap = {int(off): d for d, off in enumerate(offsets)}
         for r, c, v in zip(row, col, self.vals.data):
             data_t[r, dmap[int(c - r)]] = v
-        return dia_matrix._from_host_arrays(data_t, offsets.astype(np.int64), self.shape)
+        result = dia_matrix._from_host_arrays(
+            data_t, offsets.astype(np.int64), self.shape
+        )
+        self._note_convert("dia", result)
+        return result
 
     def toarray(self) -> np.ndarray:
         """Synchronize and densify."""
+        self._note_densify("coo.toarray")
         self._runtime.barrier()
         out = np.zeros(self.shape, dtype=self.dtype)
         # Canonical: no duplicates.

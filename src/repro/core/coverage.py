@@ -103,3 +103,42 @@ def summary() -> str:
         f"{implemented_count()} operations: {len(GENERATED)} DISTAL-generated, "
         f"{len(PORTED)} ported, {len(HANDWRITTEN)} hand-written"
     )
+
+
+def advisor_analyzable(name: str) -> bool:
+    """Whether the static advisor has a cost/nnz model for an operation.
+
+    GENERATED kernels are analyzable iff :mod:`repro.analysis.costmodel`
+    registers a :class:`~repro.analysis.costmodel.KernelModel` for them
+    (the coverage test pins this at *all* of them).  PORTED and
+    HANDWRITTEN operations compose generated kernels and AutoTasks that
+    carry their own ``cost_fn``, so the advisor analyzes them through
+    the plan trace rather than a closed-form model.
+    """
+    from repro.analysis import costmodel
+
+    return costmodel.analyzable(name)
+
+
+def inventory() -> List[Dict[str, object]]:
+    """The full inventory: one row per operation.
+
+    Columns: ``name``, ``strategy`` (generated/ported/handwritten) and
+    ``advisor`` — whether ``python -m repro.analysis advise`` can cost
+    the operation statically (closed-form model for generated kernels;
+    trace-replay for the rest).
+    """
+    rows: List[Dict[str, object]] = []
+    for name in GENERATED:
+        rows.append(
+            {
+                "name": name,
+                "strategy": "generated",
+                "advisor": advisor_analyzable(name),
+            }
+        )
+    for name in PORTED:
+        rows.append({"name": name, "strategy": "ported", "advisor": True})
+    for name in HANDWRITTEN:
+        rows.append({"name": name, "strategy": "handwritten", "advisor": True})
+    return rows

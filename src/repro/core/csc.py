@@ -136,7 +136,9 @@ class csc_matrix(spmatrix):
     def tocsr(self):
         # Free transpose to CSR, real conversion, free transpose back.
         """Real conversion via the transposed sort."""
-        return self.transpose().tocsc().transpose()
+        result = self.transpose().tocsc().transpose()
+        self._note_convert("csr", result)
+        return result
 
     def tocoo(self):
         """Convert through CSR."""

@@ -8,6 +8,7 @@ import numpy as np
 
 import repro.numeric as rnp
 from repro.constraints import Store
+from repro.core import validation  # noqa: F401  (module import, no cycle)
 from repro.core.base import issparse, spmatrix
 from repro.distal.formats import CSR
 from repro.distal.registry import get_registry, launch
@@ -88,9 +89,7 @@ class csr_matrix(spmatrix):
         if isinstance(arg1, tuple) and len(arg1) == 2:
             # (data, (row, col)) COO-style constructor.
             data, (row, col) = arg1
-            row = np.asarray(row, dtype=np.int64)
-            col = np.asarray(col, dtype=np.int64)
-            data = np.asarray(data)
+            data, row, col = validation.check_coo_host(data, row, col, shape)
             if shape is None:
                 shape = (int(row.max()) + 1 if len(row) else 0,
                          int(col.max()) + 1 if len(col) else 0)
@@ -99,19 +98,29 @@ class csr_matrix(spmatrix):
             return
         if isinstance(arg1, tuple) and len(arg1) == 3:
             data, indices, indptr = arg1
-            indptr = np.asarray(indptr, dtype=np.int64)
+            data, indices, indptr = validation.check_csr_host(
+                data, indices, indptr, shape
+            )
             if shape is None:
                 n = len(indptr) - 1
                 m = int(np.max(indices)) + 1 if len(indices) else 0
                 shape = (n, m)
-            self._init_from_host(
-                indptr, np.asarray(indices, np.int64), np.asarray(data), shape, dtype
-            )
+            self._init_from_host(indptr, indices, data, shape, dtype)
             return
         raise TypeError(f"cannot construct csr_matrix from {type(arg1).__name__}")
 
     def _init_from_host(self, indptr, indices, data, shape, dtype):
         data = np.asarray(data)
+        if len(data) != len(indices):
+            raise ValueError(
+                f"data length ({len(data)}) does not match indices length "
+                f"({len(indices)})"
+            )
+        if len(indptr) != shape[0] + 1:
+            raise ValueError(
+                f"indptr length ({len(indptr)}) must be shape[0]+1 "
+                f"({shape[0] + 1}) for shape {tuple(shape)}"
+            )
         final_dtype = np.dtype(dtype) if dtype is not None else data.dtype
         if final_dtype.kind not in "fc":
             final_dtype = np.float64
@@ -357,6 +366,7 @@ class csr_matrix(spmatrix):
             other = rnp.array(other)
         if other.shape != self.shape:
             raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        self._note_densify("csr.add_dense")
         out_dtype = np.result_type(self.dtype, other.dtype)
         out = rnp.empty(self.shape, dtype=out_dtype)
         rt = self._runtime
@@ -405,13 +415,17 @@ class csr_matrix(spmatrix):
         """Distributed row-expansion to COO (shares crd/vals)."""
         from repro.core.convert import csr_to_coo
 
-        return csr_to_coo(self)
+        result = csr_to_coo(self)
+        self._note_convert("coo", result)
+        return result
 
     def tocsc(self):
         """Real conversion: a gathered global sort."""
         from repro.core.convert import csr_to_csc
 
-        return csr_to_csc(self)
+        result = csr_to_csc(self)
+        self._note_convert("csc", result)
+        return result
 
     def todia(self):
         """Convert via COO."""
@@ -421,6 +435,7 @@ class csr_matrix(spmatrix):
         """Synchronize and densify (vectorized expansion)."""
         from repro.core.convert import _concat_ranges
 
+        self._note_densify("csr.toarray")
         self._runtime.barrier()
         out = np.zeros(self.shape, dtype=self.dtype)
         pos = self.pos.data

@@ -16,6 +16,7 @@ import numpy as np
 
 import repro.numeric as rnp
 from repro.constraints import Store
+from repro.core import validation
 from repro.core.base import spmatrix
 from repro.distal.formats import DIA
 from repro.distal.registry import get_registry, launch
@@ -59,10 +60,9 @@ class dia_matrix(spmatrix):
             data_t = _scipy_dia_to_transposed(dia.data, dia.offsets, dia.shape)
             self._init_host(data_t, np.asarray(dia.offsets, np.int64), dia.shape, dtype)
             return
-        if isinstance(arg1, tuple) and len(arg1) == 2 and shape is not None:
+        if isinstance(arg1, tuple) and len(arg1) == 2:
             data, offsets = arg1
-            data = np.atleast_2d(np.asarray(data))
-            offsets = np.atleast_1d(np.asarray(offsets, np.int64))
+            data, offsets = validation.check_dia_host(data, offsets, shape)
             data_t = _scipy_dia_to_transposed(data, offsets, shape)
             self._init_host(data_t, offsets, shape, dtype)
             return
@@ -217,7 +217,9 @@ class dia_matrix(spmatrix):
         else:
             row = col = np.empty(0, np.int64)
             val = np.empty(0, self.dtype)
-        return coo_matrix((val, (row, col)), shape=self.shape, dtype=self.dtype)
+        result = coo_matrix((val, (row, col)), shape=self.shape, dtype=self.dtype)
+        self._note_convert("coo", result)
+        return result
 
     def tocsr(self):
         """Convert through COO."""

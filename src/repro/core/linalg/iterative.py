@@ -57,7 +57,7 @@ def cg(
     z = _apply(M, r)
     p = z.copy()
     rz = rnp.vdot(r, z)
-    for it in range(maxiter):
+    for _it in range(maxiter):
         if float(rnp.linalg.norm(r)) <= tol:
             return x, 0
         q = A @ p
@@ -96,7 +96,7 @@ def cgs(
     rtilde = r.copy()
     rho_prev = None
     u = q = p = None
-    for it in range(maxiter):
+    for _it in range(maxiter):
         if float(rnp.linalg.norm(r)) <= tol:
             return x, 0
         rho = rnp.vdot(rtilde, r)
@@ -145,7 +145,7 @@ def bicg(
     rtilde = r.copy()
     p = ptilde = None
     rho_prev = None
-    for it in range(maxiter):
+    for _it in range(maxiter):
         if float(rnp.linalg.norm(r)) <= tol:
             return x, 0
         z = _apply(M, r)
@@ -197,7 +197,7 @@ def bicgstab(
     rtilde = r.copy()
     rho_prev = alpha = omega = None
     v = p = None
-    for it in range(maxiter):
+    for _it in range(maxiter):
         if float(rnp.linalg.norm(r)) <= tol:
             return x, 0
         rho = rnp.vdot(rtilde, r)

@@ -186,6 +186,10 @@ class Runtime:
             inflight_window=self.config.inflight_pool_window,
         )
         self._coherence: Dict[int, RegionCoherence] = {}
+        # Advisor capture (repro.analysis.plan.PlanTrace): when set, task
+        # launches, fills, region creates/frees and library notes are
+        # recorded; in deferred mode launches are skipped entirely.
+        self.plan_trace = None
         # Validation mode: the structured event log the offline checker
         # (python -m repro.analysis) replays.  None when not validating.
         self.event_log: Optional[EventLog] = None
@@ -227,6 +231,8 @@ class Runtime:
             # distributed (capacity accounting applies to the instances
             # tasks map, like Legion attach).
             coh.mark_valid(self._host_memory.uid, region.rect, self.issue_time)
+        if self.plan_trace is not None:
+            self.plan_trace.record_region(region, attached=data is not None)
         return region
 
     def coherence(self, region: Region) -> RegionCoherence:
@@ -241,6 +247,8 @@ class Runtime:
         """Recycle instances and drop coherence state."""
         self._coherence.pop(region.uid, None)
         self.instances.free_region(region.uid)
+        if self.plan_trace is not None:
+            self.plan_trace.record_free(region.uid)
 
     @property
     def num_procs(self) -> int:
@@ -584,6 +592,12 @@ class Runtime:
     def fill(self, region: Region, value: Any, partition: Optional[Partition] = None) -> None:
         """Distributed fill of a region with a constant."""
         part = partition or Tiling.create(region, self.num_procs)
+        if self.plan_trace is not None:
+            self.plan_trace.record_fill(
+                region, part, Privilege.WRITE_DISCARD, value
+            )
+            if self.plan_trace.deferred:
+                return
         self.profiler.record_fill()
 
         def kernel(ctx: ShardContext) -> None:

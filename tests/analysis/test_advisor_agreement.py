@@ -1,0 +1,187 @@
+"""Advisor-vs-runtime agreement harness (the ISSUE's acceptance check).
+
+Run the fig8 SpMV and fig9 CG workloads in capture-alongside mode
+(``REPRO_VALIDATE``-style ``validate=True``): every op is recorded into
+the plan trace AND executed, so the same run leaves both a plan and a
+ground-truth event log.  The advisor then replays the plan symbolically
+and its predicted copy set must match the recorded one within the
+declared tolerance (the predictor is deterministic, so the tolerance is
+0 on copy multisets and 1% on total volume).
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.sparse as sp
+from repro.analysis.advisor import analyze
+from repro.analysis.events import AllreduceEvent, CopyEvent, FoldEvent
+from repro.analysis.plan import PlanTrace
+from repro.apps.poisson import poisson2d_scipy
+from repro.harness.experiments.fig8_spmv import banded_scipy
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+#: Declared agreement tolerance on total predicted copy volume.
+VOLUME_RTOL = 0.01
+
+
+def capture(fn, procs=2):
+    """Run ``fn`` with validation on, recording plan + event log."""
+    machine = laptop()
+    runtime = Runtime(
+        machine.scope(ProcessorKind.GPU, procs),
+        RuntimeConfig.legate(validate=True),
+    )
+    plan = PlanTrace(name=getattr(fn, "__name__", "capture"), deferred=False)
+    plan.bind(runtime)
+    runtime.plan_trace = plan
+    try:
+        with runtime_scope(runtime):
+            fn()
+    finally:
+        runtime.plan_trace = None
+    return plan, runtime.event_log
+
+
+def copy_key(ev):
+    return (
+        ev.region,
+        tuple(ev.rect.lo),
+        tuple(ev.rect.hi),
+        ev.src_memory,
+        ev.dst_memory,
+        ev.nbytes,
+        ev.why,
+    )
+
+
+def assert_agreement(plan, log):
+    advice = analyze(plan)
+    predicted = advice.predicted
+
+    recorded_copies = Counter(
+        copy_key(e) for e in log.events if isinstance(e, CopyEvent)
+    )
+    predicted_copies = Counter(
+        copy_key(e) for e in predicted.events if isinstance(e, CopyEvent)
+    )
+    assert predicted_copies == recorded_copies
+
+    recorded_folds = Counter(
+        (e.region, tuple(e.rect.lo), tuple(e.rect.hi), e.memory)
+        for e in log.events
+        if isinstance(e, FoldEvent)
+    )
+    predicted_folds = Counter(
+        (e.region, tuple(e.rect.lo), tuple(e.rect.hi), e.memory)
+        for e in predicted.events
+        if isinstance(e, FoldEvent)
+    )
+    assert predicted_folds == recorded_folds
+
+    rec_bytes = sum(e.nbytes for e in log.events if isinstance(e, CopyEvent))
+    pred_bytes = sum(
+        e.nbytes for e in predicted.events if isinstance(e, CopyEvent)
+    )
+    assert pred_bytes == pytest.approx(rec_bytes, rel=VOLUME_RTOL)
+
+    assert predicted.stats() == log.stats()
+
+    rec_all = [
+        (e.op, e.participants)
+        for e in log.events
+        if isinstance(e, AllreduceEvent)
+    ]
+    pred_all = [
+        (e.op, e.participants)
+        for e in predicted.events
+        if isinstance(e, AllreduceEvent)
+    ]
+    assert pred_all == rec_all
+    return advice
+
+
+def test_fig8_spmv_agreement():
+    def workload():
+        A = sp.csr_matrix(banded_scipy(600))
+        import repro.numeric as rnp
+
+        v = rnp.ones(A.shape[1])
+        for _ in range(4):
+            y = A @ v
+        return y
+
+    plan, log = capture(workload)
+    advice = assert_agreement(plan, log)
+    assert advice.launches == len(plan.ops)
+    assert any(e.why == "stage" for e in advice.predicted.events
+               if isinstance(e, CopyEvent))
+
+
+def test_fig9_cg_agreement():
+    def workload():
+        A = sp.csr_matrix(poisson2d_scipy(16))
+        import repro.numeric as rnp
+
+        b = rnp.ones(A.shape[0])
+        x, info = sp.linalg.cg(A, b, rtol=0.0, maxiter=4)
+        return x
+
+    plan, log = capture(workload)
+    advice = assert_agreement(plan, log)
+    # CG's dot products and norms allreduce across the launch colors.
+    assert any(
+        isinstance(e, AllreduceEvent) for e in advice.predicted.events
+    )
+
+
+def test_reduce_fold_agreement():
+    """REDUCE-privilege workloads (transpose products, column sums,
+    CSC conversion) exercise the fold path."""
+
+    def workload():
+        A = sp.csr_matrix(banded_scipy(300, band=2))
+        import repro.numeric as rnp
+
+        x = rnp.ones(A.shape[0])
+        yt = A.T @ x
+        s0 = A.sum(axis=0)
+        C = A.tocsc()
+        y = C @ rnp.ones(C.shape[1])
+        return yt, s0, y
+
+    plan, log = capture(workload)
+    advice = assert_agreement(plan, log)
+    assert any(isinstance(e, FoldEvent) for e in advice.predicted.events)
+
+
+def test_deferred_trace_matches_alongside_aggregates():
+    """The deferred trace (kernels skipped) predicts the same launch
+    and traffic aggregates as the capture-alongside run of the same
+    program — region uids differ across runs, so compare aggregates."""
+    from repro.analysis.advisor import advise
+
+    def workload():
+        A = sp.csr_matrix(banded_scipy(400))
+        import repro.numeric as rnp
+
+        v = rnp.ones(A.shape[1])
+        for _ in range(3):
+            v = A @ v
+        return v
+
+    plan, log = capture(workload)
+    alongside = analyze(plan)
+    deferred = advise(workload, machine=laptop(), procs=2)
+
+    assert deferred.launches == alongside.launches
+    assert deferred.predicted.stats() == alongside.predicted.stats()
+    for cls in set(deferred.traffic) | set(alongside.traffic):
+        assert cls in deferred.traffic and cls in alongside.traffic
+        assert deferred.traffic[cls]["bytes"] == pytest.approx(
+            alongside.traffic[cls]["bytes"], rel=VOLUME_RTOL
+        )

@@ -1,0 +1,165 @@
+"""Constructor-time validation: malformed host inputs raise ValueError
+naming the offending field instead of failing later inside kernels."""
+
+import numpy as np
+import pytest
+
+import repro.sparse as sp
+
+
+# ----------------------------------------------------------------------
+# CSR (data, indices, indptr)
+# ----------------------------------------------------------------------
+def test_csr_nnz_mismatch_names_indptr():
+    with pytest.raises(ValueError, match="indptr"):
+        sp.csr_matrix(
+            (np.ones(3), np.array([0, 1, 2]), np.array([0, 2, 4])),
+            shape=(2, 3),
+        )
+
+
+def test_csr_data_indices_length_mismatch():
+    with pytest.raises(ValueError, match="data"):
+        sp.csr_matrix(
+            (np.ones(2), np.array([0, 1, 2]), np.array([0, 2, 3])),
+            shape=(2, 3),
+        )
+
+
+def test_csr_indptr_wrong_length_for_shape():
+    with pytest.raises(ValueError, match="indptr"):
+        sp.csr_matrix(
+            (np.ones(2), np.array([0, 1]), np.array([0, 1, 2])),
+            shape=(5, 3),
+        )
+
+
+def test_csr_indptr_decreasing():
+    with pytest.raises(ValueError, match="non-decreasing"):
+        sp.csr_matrix(
+            (np.ones(2), np.array([0, 1]), np.array([0, 2, 1, 2])),
+            shape=(3, 3),
+        )
+
+
+def test_csr_indices_out_of_range():
+    with pytest.raises(ValueError, match="indices"):
+        sp.csr_matrix(
+            (np.ones(2), np.array([0, 7]), np.array([0, 1, 2])),
+            shape=(2, 3),
+        )
+
+
+def test_csr_float_indices_rejected():
+    with pytest.raises(ValueError, match="indices"):
+        sp.csr_matrix(
+            (np.ones(2), np.array([0.5, 1.0]), np.array([0, 1, 2])),
+            shape=(2, 3),
+        )
+
+
+def test_csr_coo_style_negative_row():
+    with pytest.raises(ValueError, match="row"):
+        sp.csr_matrix(
+            (np.ones(2), (np.array([-1, 0]), np.array([0, 1]))),
+            shape=(2, 2),
+        )
+
+
+def test_csr_coo_style_row_col_length_mismatch():
+    with pytest.raises(ValueError, match="row"):
+        sp.csr_matrix((np.ones(2), (np.array([0, 1]), np.array([0]))))
+
+
+def test_csr_valid_construction_still_works():
+    A = sp.csr_matrix(
+        (np.array([1.0, 2.0]), np.array([0, 2]), np.array([0, 1, 2])),
+        shape=(2, 3),
+    )
+    assert A.nnz == 2
+    assert A.toarray()[1, 2] == 2.0
+
+
+# ----------------------------------------------------------------------
+# COO (data, (row, col))
+# ----------------------------------------------------------------------
+def test_coo_col_out_of_range():
+    with pytest.raises(ValueError, match="col"):
+        sp.coo_matrix(
+            (np.ones(2), (np.array([0, 1]), np.array([0, 9]))), shape=(2, 3)
+        )
+
+
+def test_coo_negative_col_without_shape():
+    with pytest.raises(ValueError, match="col"):
+        sp.coo_matrix((np.ones(1), (np.array([0]), np.array([-2]))))
+
+
+def test_coo_data_length_mismatch():
+    with pytest.raises(ValueError, match="data"):
+        sp.coo_matrix(
+            (np.ones(3), (np.array([0, 1]), np.array([0, 1]))), shape=(2, 2)
+        )
+
+
+def test_coo_float_row_rejected():
+    with pytest.raises(ValueError, match="row"):
+        sp.coo_matrix(
+            (np.ones(1), (np.array([0.25]), np.array([0]))), shape=(2, 2)
+        )
+
+
+def test_coo_valid_roundtrip():
+    A = sp.coo_matrix(
+        (np.array([3.0, 4.0]), (np.array([1, 0]), np.array([0, 1]))),
+        shape=(2, 2),
+    )
+    assert A.toarray()[1, 0] == 3.0
+
+
+# ----------------------------------------------------------------------
+# DIA (data, offsets)
+# ----------------------------------------------------------------------
+def test_dia_requires_shape():
+    with pytest.raises(ValueError, match="shape"):
+        sp.dia_matrix((np.ones((1, 3)), np.array([0])))
+
+
+def test_dia_offsets_data_row_mismatch():
+    with pytest.raises(ValueError, match="offsets"):
+        sp.dia_matrix((np.ones((2, 3)), np.array([0])), shape=(3, 3))
+
+
+def test_dia_duplicate_offsets():
+    with pytest.raises(ValueError, match="duplicate"):
+        sp.dia_matrix((np.ones((2, 3)), np.array([0, 0])), shape=(3, 3))
+
+
+def test_dia_valid_construction():
+    A = sp.dia_matrix((np.ones((1, 3)), np.array([0])), shape=(3, 3))
+    assert np.allclose(A.toarray(), np.eye(3))
+
+
+# ----------------------------------------------------------------------
+# BSR (data, indices, indptr)
+# ----------------------------------------------------------------------
+def test_bsr_shape_not_divisible_by_blocksize():
+    data = np.ones((1, 2, 2))
+    with pytest.raises(ValueError, match="blocksize"):
+        sp.bsr_matrix(
+            (data, np.array([0]), np.array([0, 1])), shape=(5, 4)
+        )
+
+
+def test_bsr_indices_block_count_mismatch():
+    data = np.ones((2, 2, 2))
+    with pytest.raises(ValueError, match="indices"):
+        sp.bsr_matrix(
+            (data, np.array([0]), np.array([0, 1])), shape=(4, 4)
+        )
+
+
+def test_bsr_valid_construction():
+    data = np.ones((1, 2, 2))
+    A = sp.bsr_matrix((data, np.array([0]), np.array([0, 1])), shape=(2, 2))
+    assert A.nnz == 4

@@ -46,9 +46,8 @@ class TestOutOfMemory:
         n = 45_000  # ~352 KB of float64: too big for half a 1MB FB
         machine1 = tiny_gpu_machine(fb_mb=0.4)
         rt1 = Runtime(machine1.scope(ProcessorKind.GPU, 1), RuntimeConfig.legate())
-        with runtime_scope(rt1):
-            with pytest.raises(OutOfMemoryError):
-                rnp.zeros(n)
+        with runtime_scope(rt1), pytest.raises(OutOfMemoryError):
+            rnp.zeros(n)
         machine2 = tiny_gpu_machine(fb_mb=0.4)
         rt2 = Runtime(machine2.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate())
         with runtime_scope(rt2):

@@ -90,18 +90,16 @@ class TestTrace:
 
     def test_nesting_rejected(self, rt):
         trace = Trace(rt, "t")
-        with trace.__class__(rt, "outer") as outer:
-            with pytest.raises(RuntimeError):
-                outer.__enter__()
+        with trace.__class__(rt, "outer") as outer, pytest.raises(RuntimeError):
+            outer.__enter__()
 
     def test_exception_inside_trace_does_not_capture_garbage(self, rt):
         A = sp.eye(16, format="csr")
         x = rnp.ones(16)
         trace = Trace(rt, "t")
-        with pytest.raises(ValueError):
-            with trace:
-                x = A @ x
-                raise ValueError("boom")
+        with pytest.raises(ValueError), trace:
+            x = A @ x
+            raise ValueError("boom")
         assert not trace.is_captured
         # A clean iteration captures normally afterwards.
         with trace:
