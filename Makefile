@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test validate check lint advise
+.PHONY: test validate check lint advise bench
 
 test:
 	python -m pytest -x -q
@@ -22,3 +22,8 @@ check:
 # footprint on a 4-node summit, no kernels executed.
 advise:
 	python -m repro.analysis advise examples/advisor_demo.py --machine summit:4
+
+# Fusion benchmark: fused vs unfused CG + GMG, writes BENCH_fusion.json
+# and fails if fusion saves < 30% of launches or changes any bit.
+bench:
+	python scripts/bench.py

@@ -27,7 +27,11 @@ REPRO_VALIDATE=1 python -m pytest -x -q \
     tests/legion/test_runtime.py \
     tests/legion/test_coherence.py \
     tests/legion/test_exact_images.py \
+    tests/legion/test_fusion.py \
     tests/integration
+
+echo "== fusion bench smoke (fused vs unfused, writes BENCH_fusion.json) =="
+python scripts/bench.py --output BENCH_fusion.json > /dev/null
 
 echo "== advisor smoke (static trace, no kernels) =="
 python -m repro.analysis advise examples/advisor_demo.py \

@@ -46,6 +46,7 @@ from repro.analysis.costmodel import for_task_name
 from repro.analysis.events import EventLog, ReqAccess
 from repro.analysis.plan import PlanFree, PlanNote, PlanOp, PlanRegion, PlanTrace
 from repro.constraints.solver import solve_partitions
+from repro.legion import fusion
 from repro.legion.coherence import RegionCoherence
 from repro.legion.exceptions import OutOfMemoryError
 from repro.legion.instance import InstanceManager
@@ -156,6 +157,14 @@ class Advice:
     # The predicted event stream (what the agreement tests compare
     # against a real run's recorded log).
     predicted: EventLog = field(default_factory=EventLog)
+    # Predicted fusion groups, in execution order: (sub-launch names,
+    # elided temporaries) per group the runtime's deferred window will
+    # form.  Empty when the analyzed config has fusion disabled.  The
+    # fusion agreement test compares this against ``Runtime.fusion_log``
+    # entry for entry.
+    fusion_groups: List[Tuple[Tuple[str, ...], int]] = field(
+        default_factory=list
+    )
 
     @property
     def errors(self) -> List[Finding]:
@@ -205,6 +214,10 @@ class Advice:
             "est_kernel_seconds": self.est_kernel_seconds,
             "est_copy_seconds": self.est_copy_seconds,
             "comm_scale": self.comm_scale,
+            "fusion_groups": [
+                {"names": list(names), "elided": elided}
+                for names, elided in self.fusion_groups
+            ],
             "errors": len(self.errors),
             "warnings": len(self.warnings),
         }
@@ -256,6 +269,16 @@ class Advice:
             f"copies {self.est_copy_seconds:.3e}s"
         )
         lines.append("")
+        merged = [g for g in self.fusion_groups if len(g[0]) > 1]
+        if merged:
+            away = sum(len(names) - 1 for names, _ in merged)
+            elided = sum(e for _, e in merged)
+            lines.append(
+                f"task fusion: {len(merged)} fused group(s) predicted "
+                f"({away} launches merged away, {elided} temporaries "
+                f"elided)"
+            )
+            lines.append("")
         if self.findings:
             lines.append("findings:")
             for f in self.findings:
@@ -333,9 +356,14 @@ class _Predictor:
         )
         self.traffic: Dict[str, Dict[str, float]] = {}
         self.op_groups: Dict[tuple, OpReport] = {}
-        # (op, solution, launch_colors) per replayed task op, in order;
-        # the fusion lint walks adjacent pairs.
+        # (op, solution, launch_colors) per replayed task op, in order.
         self.task_ops: List[Tuple[PlanOp, Dict[int, object], int]] = []
+        # Deferred-window simulation: the same summaries and planner the
+        # runtime uses (repro.legion.fusion), driven by the plan stream
+        # plus its "sync" notes, so predicted groups agree exactly with
+        # Runtime.fusion_log.
+        self._sim_window: List[fusion.LaunchSummary] = []
+        self.fusion_groups: List[Tuple[Tuple[str, ...], int]] = []
         self._oom_memories: set = set()
         self._tick_count = 0.0
         self.est_kernel_seconds = 0.0
@@ -402,7 +430,13 @@ class _Predictor:
                     self._replay_region(event)
                 elif isinstance(event, PlanFree):
                     self._replay_free(event)
-                # PlanNotes are consumed by the lint passes.
+                elif isinstance(event, PlanNote) and event.category == "sync":
+                    # The runtime flushes its deferred window at every
+                    # sync point (wait/barrier/host read/scope exit);
+                    # mirror the split.  Frees do NOT flush.
+                    self._close_sim_window()
+                # Other PlanNotes are consumed by the lint passes.
+            self._close_sim_window()
         finally:
             for store, key in saved:
                 store.key_partition = key
@@ -418,6 +452,39 @@ class _Predictor:
     def _replay_free(self, event: PlanFree) -> None:
         self.coherence.pop(event.region_uid, None)
         self.instances.free_region(event.region_uid)
+
+    # -- deferred-window simulation ------------------------------------
+    def _sim_launch(self, op: PlanOp, requirements, launch_colors) -> None:
+        """Feed one replayed launch through the simulated fusion window.
+
+        Mirrors :meth:`Runtime.launch` exactly: fusible launches buffer
+        (overflow flushes), everything else flushes and runs eagerly
+        (and does not appear in the fusion log).
+        """
+        summary = fusion.summarize(
+            op.name,
+            launch_colors,
+            (
+                (region, partition, privilege)
+                for _name, region, partition, privilege in requirements
+            ),
+            pointwise=op.pointwise,
+            reduction=op.reduction,
+        )
+        if op.reduction is not None or not summary.fusible:
+            self._close_sim_window()
+            return
+        self._sim_window.append(summary)
+        if len(self._sim_window) >= self.config.fusion_window:
+            self._close_sim_window()
+
+    def _close_sim_window(self) -> None:
+        if not self._sim_window:
+            return
+        window, self._sim_window = self._sim_window, []
+        for group in fusion.plan_window(window):
+            names = tuple(window[i].name for i in group.indices)
+            self.fusion_groups.append((names, len(group.elide)))
 
     def _replay_op(self, op: PlanOp) -> None:
         if op.requirements is not None:
@@ -457,6 +524,7 @@ class _Predictor:
         launch_colors = max(
             (part.color_count for _, _, part, _ in requirements), default=1
         )
+        self._sim_launch(op, requirements, launch_colors)
         self._aggregate(op, requirements, launch_colors)
         self._launch(op, requirements, fold_partition, launch_colors)
 
@@ -810,46 +878,28 @@ def _lint_capacity_pressure(predictor: _Predictor) -> None:
 
 
 def _lint_fusion(predictor: _Predictor) -> None:
-    """Adjacent launches that share an aligned produced->consumed region
-    (same colors, no reduction in between) could fuse into one launch."""
-    task_ops = predictor.task_ops
-    reported: set = set()
-    for (op_a, sol_a, colors_a), (op_b, sol_b, colors_b) in zip(
-        task_ops, task_ops[1:]
-    ):
-        if colors_a != colors_b or colors_a <= 1:
+    """Report the exact groups the deferred window will (or would) fuse.
+
+    The groups come from the predictor's window simulation, which runs
+    the runtime's own planner (:func:`repro.legion.fusion.plan_window`)
+    over the plan stream — so with fusion enabled these findings are a
+    statement of fact, not a heuristic: the runtime's ``fusion_log``
+    will contain exactly these groups.
+    """
+    enabled = bool(getattr(predictor.config, "fusion", False))
+    for names, elided in predictor.fusion_groups:
+        if len(names) <= 1:
             continue
-        produced = {
-            store.region.uid: name
-            for name, store, priv in op_a.args
-            if priv.writes and priv != Privilege.REDUCE
-        }
-        for _name_b, store_b, priv_b in op_b.args:
-            uid = store_b.region.uid
-            if uid not in produced or not priv_b.reads:
-                continue
-            part_a = sol_a.get(uid)
-            part_b = sol_b.get(uid)
-            if part_a is None or part_b is None:
-                continue
-            aligned = part_a is part_b or (
-                isinstance(part_a, Tiling)
-                and isinstance(part_b, Tiling)
-                and part_a.aligned_with(part_b)
-            )
-            if not aligned:
-                continue
-            key = (op_a.name, op_b.name, uid)
-            if key in reported:
-                continue
-            reported.add(key)
-            predictor._finding(
-                "note", "fusible",
-                f"ops {op_a.name!r} -> {op_b.name!r} produce/consume "
-                f"region {store_b.region.name!r} with identical "
-                f"partitions and no intervening communication — "
-                f"candidates for task fusion",
-            )
+        verb = (
+            "will fuse" if enabled
+            else "would fuse (config.fusion is disabled)"
+        )
+        extra = f", eliding {elided} temporar{'y' if elided == 1 else 'ies'}" if elided else ""
+        predictor._finding(
+            "note", "fusible",
+            f"{len(names)} launches {verb} into one task"
+            f"{extra}: {' + '.join(names)}",
+        )
 
 
 # ----------------------------------------------------------------------
@@ -903,7 +953,13 @@ def trace(
 
     machine = machine or laptop()
     scope = _make_scope(machine, kind, procs, per_node)
-    config = config or RuntimeConfig.legate(validate=not deferred)
+    # Alongside mode pairs the plan with a real validated run whose
+    # event log the copy-agreement tests compare per-op — fusion stays
+    # off there so the comparison is launch-for-launch.  Deferred mode
+    # analyzes the default (fusion-enabled) runtime.
+    config = config or RuntimeConfig.legate(
+        validate=not deferred, fusion=deferred
+    )
     runtime = Runtime(scope, config)
     plan = PlanTrace(
         name=name or getattr(fn, "__name__", "trace"), deferred=deferred
@@ -994,6 +1050,15 @@ def analyze(
         est_copy_seconds=est_copy,
         comm_scale=config.effective_comm_scale,
         predicted=predictor.log,
+        # The simulation always runs (the lint reports hypothetical
+        # groups either way), but only a fusion-enabled runtime actually
+        # forms them — an agreement comparison against a fusion-off run
+        # should see none.
+        fusion_groups=(
+            list(predictor.fusion_groups)
+            if getattr(config, "fusion", False)
+            else []
+        ),
     )
 
 

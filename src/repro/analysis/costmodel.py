@@ -166,6 +166,10 @@ def for_task_name(task_name: str) -> Optional[KernelModel]:
     (e.g. ``"csr:y(i)=A(i,j)*x(j):gpu"``).  Non-DISTAL task names
     (``"fill"``, ``"axpy"``, ...) resolve to None.
     """
+    if task_name.startswith("fused{"):
+        # Automatically fused groups (repro.legion.fusion) cost the sum
+        # of their sub-launches; there is no single kernel model.
+        return None
     parts = task_name.split(":")
     if len(parts) < 3:
         return None

@@ -48,7 +48,7 @@ class PlanOp:
 
     __slots__ = (
         "name", "args", "constraints", "scalars", "reduction", "colors",
-        "cost_fn", "requirements", "index",
+        "cost_fn", "requirements", "pointwise", "index",
     )
 
     def __init__(
@@ -61,6 +61,7 @@ class PlanOp:
         reduction: Optional[str] = None,
         cost_fn=None,
         requirements: Optional[List[tuple]] = None,
+        pointwise=None,
         index: int = 0,
     ):
         self.name = name
@@ -72,6 +73,9 @@ class PlanOp:
         self.cost_fn = cost_fn
         # Fill path: [(arg_name, Region, Partition, Privilege)].
         self.requirements = requirements
+        # Element-wise marker (repro.legion.task.Pointwise), stored
+        # opaquely: the advisor's fusion-window simulation keys off it.
+        self.pointwise = pointwise
         self.index = index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -155,21 +159,26 @@ class PlanTrace:
         reduction: Optional[str],
         colors: int,
         cost_fn,
+        pointwise=None,
     ) -> PlanOp:
         """Record an AutoTask launch (stores + privileges + constraints)."""
         op = PlanOp(
             name, colors, args=list(args), constraints=list(constraints),
             scalars=dict(scalars), reduction=reduction, cost_fn=cost_fn,
+            pointwise=pointwise,
         )
         self._append(op)
         return op
 
-    def record_fill(self, region, partition, privilege, value) -> PlanOp:
+    def record_fill(
+        self, region, partition, privilege, value, pointwise=None
+    ) -> PlanOp:
         """Record a direct runtime fill (concrete partition, no solve)."""
         op = PlanOp(
             "fill", partition.color_count,
             scalars={"value": value},
             requirements=[("out", region, partition, privilege)],
+            pointwise=pointwise,
         )
         self._append(op)
         return op

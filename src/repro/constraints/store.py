@@ -70,7 +70,13 @@ class Store:
 
     @property
     def data(self) -> np.ndarray:
-        """The exact backing array (numerical truth)."""
+        """The exact backing array (numerical truth).
+
+        A host read is a synchronization point: launches pending in the
+        runtime's deferred fusion window may still owe writes, so the
+        window flushes first.
+        """
+        self.runtime._sync("store-data")
         return self.region.data
 
     # ------------------------------------------------------------------

@@ -20,7 +20,9 @@ from repro.legion.future import Future
 from repro.legion.partition import Tiling
 from repro.legion.privilege import Privilege
 from repro.legion.runtime import Runtime
-from repro.legion.task import CostFn, KernelFn, Requirement, TaskLaunch, default_cost
+from repro.legion.task import (
+    CostFn, KernelFn, Pointwise, Requirement, TaskLaunch, default_cost,
+)
 
 
 class AutoTask:
@@ -44,6 +46,7 @@ class AutoTask:
         self._scalars: Dict[str, Any] = {}
         self._scalar_reduction: Optional[str] = None
         self._by_name: Dict[str, Store] = {}
+        self._pointwise: Optional[Pointwise] = None
 
     # ------------------------------------------------------------------
     # Region arguments
@@ -104,6 +107,16 @@ class AutoTask:
         """Reduce kernel return values into a Future."""
         self._scalar_reduction = op
 
+    def set_pointwise(self, *ops: str) -> None:
+        """Mark the task element-wise over aligned operands.
+
+        Pointwise tasks are eligible for the runtime's deferred fusion
+        window (:mod:`repro.legion.fusion`); ``ops`` names the
+        element-wise operations for reporting.  Only set this on kernels
+        that touch exactly their shard's rect of every argument.
+        """
+        self._pointwise = Pointwise(tuple(ops))
+
     # ------------------------------------------------------------------
     def _check_write_disjointness(self, solution) -> None:
         """Validation mode: exclusive-write partitions must be disjoint.
@@ -127,6 +140,14 @@ class AutoTask:
     def execute(self) -> Optional[Future]:
         """Solve constraints, launch, update key partitions."""
         colors = self.colors if self.colors is not None else self.runtime.num_procs
+        if self._pointwise is None or any(
+            isinstance(c, Image) for c in self._constraints
+        ):
+            # Non-pointwise (or image-constrained) tasks flush the
+            # deferred window *before* solving: image partitions read
+            # region data host-side at solve time, and pending fused
+            # launches may still owe writes to those regions.
+            self.runtime.flush_window()
         plan = self.runtime.plan_trace
         if plan is not None:
             # Advisor capture (repro.analysis.plan): record the launch —
@@ -135,6 +156,7 @@ class AutoTask:
             plan.record_task_op(
                 self.name, self._args, self._constraints, self._scalars,
                 self._scalar_reduction, colors, self.cost_fn,
+                pointwise=self._pointwise,
             )
             if plan.deferred:
                 # Deferred trace: skip solve/launch entirely; scalar
@@ -175,6 +197,7 @@ class AutoTask:
             scalars=self._scalars,
             reduction=self._scalar_reduction,
             fold_partition=fold_partition,
+            pointwise=self._pointwise,
         )
         result = self.runtime.launch(launch)
 

@@ -40,6 +40,22 @@ def nodes_needed(columns=WEAK_SCALING_COLUMNS) -> int:
     return max(max_sockets // 2, (max_gpus + 5) // 6)
 
 
+def paper_legate(**kwargs):
+    """Legate config as the paper measured it: no automatic fusion.
+
+    The published system predates the deferred fusion window (§6.1
+    names fusion as future work), and several figure shapes depend on
+    its absence — Fig. 11's 64-GPU OOM and Fig. 12's minimum-GPU
+    counts both shrink once temporaries are elided.  Figure
+    regeneration therefore pins ``fusion=False``; the fusion win is
+    measured separately (:mod:`repro.harness.fusion_bench`).
+    """
+    from repro.legion.runtime import RuntimeConfig
+
+    kwargs.setdefault("fusion", False)
+    return RuntimeConfig.legate(**kwargs)
+
+
 def reduced_size(full_size: int, procs: int, per_proc_floor: int = 512, cap: int = 400_000) -> int:
     """Pick a host-RAM-friendly build size for a full-scale problem.
 

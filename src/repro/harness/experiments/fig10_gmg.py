@@ -21,7 +21,12 @@ import repro.numeric as rnp
 import repro.sparse as sp
 from repro.apps.multigrid import TwoLevelGMG
 from repro.apps.poisson import poisson2d_scipy
-from repro.harness.config import WEAK_SCALING_COLUMNS, column_label, nodes_needed
+from repro.harness.config import (
+    WEAK_SCALING_COLUMNS,
+    column_label,
+    nodes_needed,
+    paper_legate,
+)
 from repro.harness.figures import FigureResult
 from repro.legion.runtime import Runtime, RuntimeConfig, runtime_scope
 from repro.machine import Machine, ProcessorKind, summit
@@ -86,7 +91,7 @@ def run(machine: Optional[Machine] = None, columns=None) -> FigureResult:
             gpus,
             _legate_gmg(
                 machine, ProcessorKind.GPU, gpus, gpus * PER_GPU_N,
-                RuntimeConfig.legate,
+                paper_legate,
             ),
         )
         fig.series_for("CuPy (1 GPU)").add(
@@ -97,7 +102,7 @@ def run(machine: Optional[Machine] = None, columns=None) -> FigureResult:
             sockets,
             _legate_gmg(
                 machine, ProcessorKind.CPU_SOCKET, sockets,
-                sockets * PER_SOCKET_N, RuntimeConfig.legate,
+                sockets * PER_SOCKET_N, paper_legate,
             ),
         )
         fig.series_for("SciPy").add(

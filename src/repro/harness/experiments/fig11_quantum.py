@@ -24,6 +24,7 @@ import numpy as np
 import repro.numeric as rnp
 import repro.sparse as sp
 from repro.apps.rydberg import blockade_state_count, rydberg_hamiltonian_scipy
+from repro.harness.config import paper_legate
 from repro.harness.figures import FigureResult
 from repro.integrate import solve_ivp
 from repro.legion import OutOfMemoryError
@@ -110,14 +111,14 @@ def run(machine: Optional[Machine] = None, proc_counts: Optional[List[int]] = No
             procs,
             _quantum_throughput(
                 machine, ProcessorKind.GPU, procs, dim_full,
-                RuntimeConfig.legate, per_node=GPUS_PER_NODE,
+                paper_legate, per_node=GPUS_PER_NODE,
             ),
         )
         fig.series_for("Legate-CPU").add(
             procs,
             _quantum_throughput(
                 machine, ProcessorKind.CPU_SOCKET, procs, dim_full,
-                RuntimeConfig.legate,
+                paper_legate,
             ),
         )
         fig.series_for("CuPy (1 GPU)").add(

@@ -22,6 +22,7 @@ import repro.numeric as rnp
 import repro.sparse as sp
 from repro.apps.matfact import MatrixFactorizationModel, sgd_epoch
 from repro.apps.movielens import ML_SPECS, load_dataset
+from repro.harness.config import paper_legate
 from repro.harness.figures import FigureResult
 from repro.legion import OutOfMemoryError
 from repro.legion.runtime import Runtime, RuntimeConfig, runtime_scope
@@ -115,7 +116,7 @@ def run(machine: Optional[Machine] = None, datasets: Optional[List[str]] = None)
         cupy.add(idx, _try_run(machine, RuntimeConfig.cupy, 1, dataset))
         best = None
         for gpus in GPU_CANDIDATES:
-            throughput = _try_run(machine, RuntimeConfig.legate, gpus, dataset)
+            throughput = _try_run(machine, paper_legate, gpus, dataset)
             if throughput is not None:
                 best = (gpus, throughput)
                 break

@@ -22,6 +22,7 @@ from repro.harness.config import (
     WEAK_SCALING_COLUMNS,
     column_label,
     nodes_needed,
+    paper_legate,
     reduced_size,
 )
 from repro.harness.figures import FigureResult
@@ -99,7 +100,7 @@ def run(machine: Optional[Machine] = None, columns=None) -> FigureResult:
             gpus,
             _legate_throughput(
                 machine, ProcessorKind.GPU, gpus, gpus * PER_GPU_ROWS,
-                RuntimeConfig.legate,
+                paper_legate,
             ),
         )
         fig.series_for("CuPy (1 GPU)").add(
@@ -115,7 +116,7 @@ def run(machine: Optional[Machine] = None, columns=None) -> FigureResult:
             sockets,
             _legate_throughput(
                 machine, ProcessorKind.CPU_SOCKET, sockets,
-                sockets * PER_SOCKET_ROWS, RuntimeConfig.legate,
+                sockets * PER_SOCKET_ROWS, paper_legate,
             ),
         )
         fig.series_for("SciPy").add(

@@ -41,11 +41,12 @@ from repro.legion.runtime import (
     runtime_scope,
     set_runtime,
 )
-from repro.legion.task import Requirement, ShardContext, TaskLaunch
+from repro.legion.task import Pointwise, Requirement, ShardContext, TaskLaunch
 from repro.legion.tracing import Trace
 
 __all__ = [
     "Future",
+    "Pointwise",
     "ImageByCoordinate",
     "ImageByRange",
     "LegionError",

@@ -25,6 +25,14 @@ class Profiler:
     allreduces: int = 0
     resize_copies: int = 0
     resize_bytes: int = 0
+    # Automatic task fusion (repro.legion.fusion): fused groups executed,
+    # sub-launches merged away (group size minus the one launch that
+    # remains), temporaries elided, and the total launch overhead charged
+    # on the issue clock.
+    fused_tasks: int = 0
+    tasks_fused_away: int = 0
+    regions_elided: int = 0
+    launch_overhead_seconds: float = 0.0
     copy_count: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     copy_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     task_counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -57,6 +65,16 @@ class Profiler:
         """Count one scalar allreduce."""
         self.allreduces += 1
 
+    def record_fusion(self, group_size: int, elided: int) -> None:
+        """Count one fused group of ``group_size`` sub-launches."""
+        self.fused_tasks += 1
+        self.tasks_fused_away += group_size - 1
+        self.regions_elided += elided
+
+    def record_launch_overhead(self, seconds: float) -> None:
+        """Accumulate issue-clock launch overhead."""
+        self.launch_overhead_seconds += seconds
+
     def record_event(self, name: str, start: float, finish: float) -> None:
         """Record a (name, start, finish) event if enabled."""
         if self.record_events:
@@ -82,6 +100,17 @@ class Profiler:
             f"({self.shards_executed} shards)",
             f"allreduces:       {self.allreduces}",
         ]
+        if self.fused_tasks:
+            lines.append(
+                f"fusion:           {self.fused_tasks} fused groups "
+                f"({self.tasks_fused_away} launches merged away, "
+                f"{self.regions_elided} temporaries elided)"
+            )
+        if self.launch_overhead_seconds:
+            lines.append(
+                f"launch overhead:  {self.launch_overhead_seconds:.6f}s "
+                f"(issue clock)"
+            )
         if self.copy_bytes:
             moved = ", ".join(
                 f"{kind}={self.copy_bytes[kind]:,}B/{self.copy_count[kind]}"
@@ -110,6 +139,10 @@ class Profiler:
             allreduces=self.allreduces,
             resize_copies=self.resize_copies,
             resize_bytes=self.resize_bytes,
+            fused_tasks=self.fused_tasks,
+            tasks_fused_away=self.tasks_fused_away,
+            regions_elided=self.regions_elided,
+            launch_overhead_seconds=self.launch_overhead_seconds,
         )
         snap.copy_count = defaultdict(int, self.copy_count)
         snap.copy_bytes = defaultdict(int, self.copy_bytes)
@@ -125,6 +158,12 @@ class Profiler:
             allreduces=self.allreduces - snap.allreduces,
             resize_copies=self.resize_copies - snap.resize_copies,
             resize_bytes=self.resize_bytes - snap.resize_bytes,
+            fused_tasks=self.fused_tasks - snap.fused_tasks,
+            tasks_fused_away=self.tasks_fused_away - snap.tasks_fused_away,
+            regions_elided=self.regions_elided - snap.regions_elided,
+            launch_overhead_seconds=(
+                self.launch_overhead_seconds - snap.launch_overhead_seconds
+            ),
         )
         keys = set(self.copy_count) | set(snap.copy_count)
         delta.copy_count = defaultdict(

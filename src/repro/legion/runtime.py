@@ -38,6 +38,7 @@ from repro.analysis.recorder import validation_default as _validation_default
 from repro.analysis.sanitizer import poison as _poison
 from repro.analysis.sanitizer import readonly_view as _readonly_view
 from repro.geometry import Rect
+from repro.legion import fusion
 from repro.legion.coherence import RegionCoherence
 from repro.legion.future import Future
 from repro.legion.instance import InstanceManager
@@ -45,7 +46,7 @@ from repro.legion.partition import Partition, Replicate, Tiling
 from repro.legion.privilege import Privilege
 from repro.legion.profiler import Profiler
 from repro.legion.region import Region
-from repro.legion.task import Requirement, ShardContext, TaskLaunch
+from repro.legion.task import Pointwise, Requirement, ShardContext, TaskLaunch
 from repro.machine import MachineScope, Memory, MemoryKind, Processor
 
 
@@ -86,6 +87,16 @@ class RuntimeConfig:
     # Kernel efficiency multiplier for SDDMM-like fused kernels; the
     # baseline cuSPARSE SDDMM is modelled as inefficient (Fig. 12).
     sddmm_inefficiency: float = 1.0
+    # Automatic task fusion (repro.legion.fusion): element-wise launches
+    # are buffered in a deferred window and compatible runs merged into
+    # one launch (one launch overhead instead of N; in-window
+    # temporaries elided).  On for Legate — the paper's named fix for
+    # the small-task overhead gap (§6.1) — off for the comparison
+    # systems, which have no such runtime.
+    fusion: bool = True
+    # Deferred window capacity: the window flushes when full (and on
+    # future waits, non-fusible launches, barriers and scope exits).
+    fusion_window: int = 16
     # Kernel slowdown once a memory fills past the threshold — the
     # "CuPy runs close to the GPU memory limit" effect on ML-25M
     # (Fig. 12): allocator churn and fragmented, uncoalesced buffers.
@@ -132,6 +143,7 @@ class RuntimeConfig:
             local_reshape_penalty=False,
             sddmm_inefficiency=5.0,
             memory_pressure_slowdown=6.0,
+            fusion=False,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -148,6 +160,7 @@ class RuntimeConfig:
             allreduce_hop_overhead=0.0,
             reserved_fb_bytes=0,
             local_reshape_penalty=False,
+            fusion=False,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -165,6 +178,7 @@ class RuntimeConfig:
             allreduce_hop_overhead=2.0e-6,
             reserved_fb_bytes=int(0.4 * 2**30),
             local_reshape_penalty=False,
+            fusion=False,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -203,6 +217,18 @@ class Runtime:
         # Optional tracing hook (repro.legion.tracing): called with the
         # task name per launch; returns a launch-overhead multiplier.
         self._trace_hook = None
+        # Deferred launch window (automatic task fusion, see
+        # repro.legion.fusion): fusible launches buffer here; flush
+        # plans groups and executes.  The plan cache memoizes grouping
+        # decisions by structural window signature, so a traced loop
+        # pays the planning cost once per distinct window shape.
+        self._window: List[TaskLaunch] = []
+        self._deferred_frees: List[int] = []
+        self._fusion_cache: Dict[tuple, List[fusion.GroupPlan]] = {}
+        # Every executed window group, in order: (sub-launch names,
+        # number of elided temporaries).  The advisor's capture-
+        # alongside agreement test compares its predictions to this.
+        self.fusion_log: List[Tuple[Tuple[str, ...], int]] = []
         self.machine.reset_channels()
         # Host staging memory: node-0 system memory.
         self._host_memory = next(
@@ -244,9 +270,24 @@ class Runtime:
         return coh
 
     def free_region(self, region: Region) -> None:
-        """Recycle instances and drop coherence state."""
-        self._coherence.pop(region.uid, None)
-        self.instances.free_region(region.uid)
+        """Recycle instances and drop coherence state.
+
+        Frees deliberately do NOT flush the deferred window — in-window
+        temporaries are destroyed right after each expression statement,
+        and flushing here would empty the window every statement and
+        defeat fusion.  A region still referenced by a pending launch
+        has its instance recycling deferred until after the next flush
+        (the launch holds the region's backing array alive, so numerics
+        are unaffected)."""
+        if any(
+            req.region.uid == region.uid
+            for task in self._window
+            for req in task.requirements
+        ):
+            self._deferred_frees.append(region.uid)
+        else:
+            self._coherence.pop(region.uid, None)
+            self.instances.free_region(region.uid)
         if self.plan_trace is not None:
             self.plan_trace.record_free(region.uid)
 
@@ -269,11 +310,13 @@ class Runtime:
     # ------------------------------------------------------------------
     def wait(self, future: Future) -> Any:
         """Block the issuing program on a future (control-flow sync)."""
+        self._sync("wait")
         self.issue_time = max(self.issue_time, future.ready_time)
         return future.value
 
     def barrier(self) -> float:
         """Wait for all outstanding work; returns the simulated time."""
+        self._sync("barrier")
         self.issue_time = max(
             self.issue_time, max(self._proc_busy.values(), default=0.0)
         )
@@ -281,6 +324,7 @@ class Runtime:
 
     def elapsed(self) -> float:
         """Latest simulated time across issue and processors."""
+        self._sync("elapsed")
         return max(self.issue_time, max(self._proc_busy.values(), default=0.0))
 
     # ------------------------------------------------------------------
@@ -308,9 +352,78 @@ class Runtime:
         return finish
 
     # ------------------------------------------------------------------
-    # Task launch
+    # Task launch: the deferred window (automatic task fusion)
     # ------------------------------------------------------------------
     def launch(self, task: TaskLaunch) -> Optional[Future]:
+        """Issue a task launch.
+
+        Fusible launches (element-wise, aligned tilings, no reduction —
+        see :func:`repro.legion.fusion.fusible`) enter the deferred
+        window; everything else flushes the window and executes
+        eagerly.  Numerics are unaffected by the deferral: anything
+        that could observe a pending result — future waits, barriers,
+        host reads of store data, non-fusible launches (whose solve may
+        read region data for image partitions) — flushes first.
+        """
+        if (
+            not self.config.fusion
+            or task.reduction is not None
+            or not fusion.fusible(task)
+        ):
+            self.flush_window()
+            return self._execute(task)
+        self._window.append(task)
+        if len(self._window) >= self.config.fusion_window:
+            self.flush_window()
+        return None
+
+    def flush_window(self) -> None:
+        """Plan and execute every launch buffered in the window."""
+        if not self._window:
+            return
+        window, self._window = self._window, []
+        frees, self._deferred_frees = self._deferred_frees, []
+        try:
+            self._flush(window)
+        finally:
+            # Regions freed while referenced by the (now executed or
+            # abandoned) window: recycle their instances.
+            for uid in frees:
+                self._coherence.pop(uid, None)
+                self.instances.free_region(uid)
+
+    def _flush(self, window: List[TaskLaunch]) -> None:
+        summaries = [fusion.summarize_launch(task) for task in window]
+        key = fusion.signature(summaries)
+        plans = self._fusion_cache.get(key)
+        if plans is None:
+            plans = fusion.plan_window(summaries)
+            self._fusion_cache[key] = plans
+        local = fusion.local_ids(summaries)
+        uid_of = {lid: uid for uid, lid in local.items()}
+        for plan in plans:
+            names = tuple(window[i].name for i in plan.indices)
+            self.fusion_log.append((names, len(plan.elide)))
+            if plan.fused:
+                elide_uids = frozenset(uid_of[lid] for lid in plan.elide)
+                merged = fusion.fuse([window[i] for i in plan.indices], elide_uids)
+                self.profiler.record_fusion(len(plan.indices), len(plan.elide))
+                self._execute(merged)
+            else:
+                self._execute(window[plan.indices[0]])
+
+    def _sync(self, why: str) -> None:
+        """A synchronization point: flush the window, note it in the plan.
+
+        The plan note lets the advisor's window simulation split its
+        groups exactly where the runtime does — sync points are control
+        flow the op stream alone cannot reveal.
+        """
+        if self.plan_trace is not None:
+            self.plan_trace.record_note("sync", why=why)
+        self.flush_window()
+
+    def _execute(self, task: TaskLaunch) -> Optional[Future]:
         """Execute a task launch: map, copy, run, time (see module docs)."""
         colors = task.color_count
         procs = self.scope.processors
@@ -323,6 +436,7 @@ class Runtime:
         if self._trace_hook is not None:
             overhead *= self._trace_hook(task.name)
         self.issue_time += overhead
+        self.profiler.record_launch_overhead(overhead)
 
         scalar_ready = 0.0
         scalar_values: Dict[str, Any] = {}
@@ -363,6 +477,12 @@ class Runtime:
                     # Discarded contents must never be observed: poison
                     # them so reads of undefined data propagate NaNs.
                     _poison(req.region.data, rect)
+                if req.elide:
+                    # Elided temporary (produced and consumed inside
+                    # this fused task): no instance allocation, no
+                    # staging.  Coherence is still marked on write so a
+                    # read escaping the group stays correct.
+                    continue
                 inst, resize_bytes, fresh = self.instances.ensure(
                     memory, req.region.uid, rect, req.region.itemsize,
                     scale=self._mem_scale(req.region),
@@ -592,9 +712,11 @@ class Runtime:
     def fill(self, region: Region, value: Any, partition: Optional[Partition] = None) -> None:
         """Distributed fill of a region with a constant."""
         part = partition or Tiling.create(region, self.num_procs)
+        pointwise = Pointwise(("fill",))
         if self.plan_trace is not None:
             self.plan_trace.record_fill(
-                region, part, Privilege.WRITE_DISCARD, value
+                region, part, Privilege.WRITE_DISCARD, value,
+                pointwise=pointwise,
             )
             if self.plan_trace.deferred:
                 return
@@ -615,6 +737,7 @@ class Runtime:
                 ],
                 kernel=kernel,
                 cost_fn=cost,
+                pointwise=pointwise,
             )
         )
 
@@ -668,4 +791,9 @@ def runtime_scope(runtime: Runtime):
     try:
         yield runtime
     finally:
-        set_runtime(previous)
+        # Scope exit is a synchronization point: pending deferred
+        # launches execute before the runtime is uninstalled.
+        try:
+            runtime._sync("scope-exit")
+        finally:
+            set_runtime(previous)

@@ -10,7 +10,7 @@ into their region arguments with global bounds (paper Fig. 7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,6 +18,21 @@ from repro.geometry import Rect
 from repro.legion.partition import Partition
 from repro.legion.privilege import Privilege
 from repro.legion.region import Region
+
+
+@dataclass(frozen=True)
+class Pointwise:
+    """Marks a launch as element-wise over aligned operands.
+
+    Pointwise launches touch exactly their shard's rect of every region
+    argument (no halos, no data-dependent indexing), which is the
+    legality precondition the deferred launch window checks before
+    merging a run of launches into one fused task
+    (:mod:`repro.legion.fusion`).  ``ops`` names the element-wise
+    operations, for reporting.
+    """
+
+    ops: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -28,6 +43,11 @@ class Requirement:
     region: Region
     partition: Partition
     privilege: Privilege
+    # Set by the fusion pass on temporaries produced and consumed
+    # entirely inside one fused task: the runtime skips instance
+    # allocation and staging for elided requirements (the temporary
+    # never exists as a mapped instance).
+    elide: bool = False
 
 
 class ShardContext:
@@ -125,6 +145,9 @@ class TaskLaunch:
     # Owner partition used to fold REDUCE-privilege outputs; defaults to
     # an even tiling of the output region.
     fold_partition: Optional[Partition] = None
+    # Element-wise marker: set on launches eligible for the deferred
+    # fusion window (repro.legion.fusion); None means execute eagerly.
+    pointwise: Optional[Pointwise] = None
 
     @property
     def color_count(self) -> int:

@@ -40,6 +40,7 @@ class Trace:
         self._captured: Optional[List[str]] = None
         self._recording: Optional[List[str]] = None
         self._active = False
+        self._diverged = False
         self.replays = 0
         self.captures = 0
 
@@ -47,14 +48,25 @@ class Trace:
     def __enter__(self) -> "Trace":
         if self._active:
             raise RuntimeError("trace scopes do not nest")
+        # Launches deferred before the trace opened belong outside it:
+        # flush so the capture records only the body's sequence.
+        self.runtime.flush_window()
         self._active = True
+        self._diverged = False
         self._recording = []
         self.runtime._trace_hook = self._on_launch
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.runtime._trace_hook = None
-        self._active = False
+        # Flush while the hook is still installed: launches deferred
+        # inside the body are part of the trace (and must be recorded
+        # with their fused names, which are deterministic per window
+        # shape — so replays of a fused body still match).
+        try:
+            self.runtime.flush_window()
+        finally:
+            self.runtime._trace_hook = None
+            self._active = False
         recorded = self._recording or []
         self._recording = None
         if exc_type is not None:
@@ -62,7 +74,7 @@ class Trace:
         if self._captured is None:
             self._captured = recorded
             self.captures += 1
-        elif recorded == self._captured:
+        elif recorded == self._captured and not self._diverged:
             self.replays += 1
         else:
             # The body diverged: re-capture (Legion would abort the
@@ -77,11 +89,16 @@ class Trace:
         idx = len(self._recording)
         self._recording.append(task_name)
         if (
-            self._captured is not None
+            not self._diverged
+            and self._captured is not None
             and idx < len(self._captured)
             and self._captured[idx] == task_name
         ):
             return TRACE_REPLAY_FRACTION
+        if self._captured is not None:
+            # First mismatch: the rest of this body executes at full
+            # dynamic cost (the captured trace no longer applies).
+            self._diverged = True
         return 1.0
 
     @property

@@ -22,29 +22,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.constraints import AutoTask
+from repro.numeric import optable
 from repro.numeric.array import Scalar, is_scalar_like, ndarray
 from repro.numeric.creation import _make
-
-_BINOPS = {
-    "add": np.add,
-    "sub": np.subtract,
-    "mul": np.multiply,
-    "div": np.divide,
-    "pow": np.power,
-    "maximum": np.maximum,
-    "minimum": np.minimum,
-}
-_UNOPS = {
-    "neg": np.negative,
-    "abs": np.abs,
-    "sqrt": np.sqrt,
-    "exp": np.exp,
-    "log": np.log,
-    "sin": np.sin,
-    "cos": np.cos,
-    "conj": np.conjugate,
-    "square": np.square,
-}
 
 
 class LazyExpr:
@@ -171,9 +151,17 @@ def evaluate(expr: LazyExpr, out: Optional[ndarray] = None) -> ndarray:
     if not leaves:
         raise ValueError("expression has no array leaves")
     shape = leaves[0].shape
-    for leaf in leaves:
+    for idx, leaf in enumerate(leaves):
         if leaf.shape != shape:
-            raise ValueError(f"shape mismatch in fused expression: {leaf.shape} vs {shape}")
+            ref = leaves[0].store.region.name or "in0"
+            name = leaf.store.region.name or f"in{idx}"
+            op = _op_of(expr, leaf)
+            where = f" (operand of {op!r})" if op else ""
+            raise ValueError(
+                f"shape mismatch in fused expression: leaf {idx} "
+                f"{name!r} has shape {leaf.shape}{where}, but leaf 0 "
+                f"{ref!r} has shape {shape}"
+            )
     rt = leaves[0].store.runtime
     dtype = np.result_type(*[leaf.dtype for leaf in leaves], np.float64)
     if out is None:
@@ -183,8 +171,11 @@ def evaluate(expr: LazyExpr, out: Optional[ndarray] = None) -> ndarray:
     scalars: Dict[str, Any] = {}
 
     # Flatten the tree into a postfix program the kernel interprets —
-    # keeps the kernel picklable and avoids exec'ing user data.
+    # keeps the kernel picklable and avoids exec'ing user data.  Ops
+    # resolve through the shared table (repro.numeric.optable), the
+    # same callables the eager ufunc layer uses.
     program: List[Tuple[str, Any]] = []
+    op_names: List[str] = []
 
     def emit(node: LazyExpr) -> None:
         if node.op == "leaf":
@@ -194,13 +185,15 @@ def evaluate(expr: LazyExpr, out: Optional[ndarray] = None) -> ndarray:
             key = f"s{len(scalars)}"
             scalars[key] = val.future if isinstance(val, Scalar) else val
             program.append(("scalar", key))
-        elif node.op in _UNOPS:
+        elif optable.is_unop(node.op):
             emit(node.args[0])
             program.append(("un", node.op))
-        elif node.op in _BINOPS:
+            op_names.append(optable.canonical(node.op))
+        elif optable.is_binop(node.op):
             emit(node.args[0])
             emit(node.args[1])
             program.append(("bin", node.op))
+            op_names.append(optable.canonical(node.op))
         else:  # pragma: no cover - composition guards this
             raise ValueError(f"unknown op {node.op!r}")
 
@@ -214,11 +207,11 @@ def evaluate(expr: LazyExpr, out: Optional[ndarray] = None) -> ndarray:
             elif kind == "scalar":
                 stack.append(ctx.scalar(arg))
             elif kind == "un":
-                stack.append(_UNOPS[arg](stack.pop()))
+                stack.append(optable.unop(arg)(stack.pop()))
             else:
                 rhs = stack.pop()
                 lhs = stack.pop()
-                stack.append(_BINOPS[arg](lhs, rhs))
+                stack.append(optable.binop(arg)(lhs, rhs))
         ctx.view("out")[...] = stack.pop()
 
     n_ops = expr.op_count()
@@ -238,5 +231,25 @@ def evaluate(expr: LazyExpr, out: Optional[ndarray] = None) -> ndarray:
         task.add_alignment_constraint(out.store, leaf.store)
     for key, val in scalars.items():
         task.add_scalar_arg(key, val)
+    task.set_pointwise(*op_names)
     task.execute()
     return out
+
+
+def _op_of(expr: LazyExpr, arr: ndarray) -> Optional[str]:
+    """The op whose subtree first references ``arr`` (error context)."""
+    found: List[str] = []
+
+    def walk(node, parent: Optional[str]) -> None:
+        if not isinstance(node, LazyExpr) or found:
+            return
+        if node.op == "leaf":
+            if node.args[0] is arr and parent is not None:
+                found.append(parent)
+            return
+        here = parent if node.op == "scalar" else node.op
+        for arg in node.args:
+            walk(arg, here)
+
+    walk(expr, None)
+    return found[0] if found else None

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.constraints import AutoTask
 from repro.legion.runtime import get_runtime
+from repro.numeric import optable
 from repro.numeric.array import Scalar, is_scalar_like, ndarray
 from repro.numeric.creation import _make
 
@@ -50,6 +51,10 @@ def _scalar_dtype(value, other_dtype: np.dtype) -> np.dtype:
 
 
 def _binary(name: str, np_op, a, b, out: Optional[ndarray] = None) -> ndarray:
+    # Known names resolve through the shared op table (repro.numeric
+    # .optable) so every fusion consumer agrees on the callable;
+    # unknown names (clip-style lambdas) pass through.
+    np_op = optable.BINOPS.get(optable.canonical(name), np_op)
     a_arr = isinstance(a, ndarray)
     b_arr = isinstance(b, ndarray)
     if not a_arr and not b_arr:
@@ -90,11 +95,13 @@ def _binary(name: str, np_op, a, b, out: Optional[ndarray] = None) -> ndarray:
     else:
         task.add_scalar_arg("b", b.future if isinstance(b, Scalar) else b)
     task.add_scalar_arg("op", np_op)
+    task.set_pointwise(name)
     task.execute()
     return out
 
 
 def _unary(name: str, np_op, a: ndarray, out: Optional[ndarray] = None, dtype=None) -> ndarray:
+    np_op = optable.UNOPS.get(optable.canonical(name), np_op)
     if not isinstance(a, ndarray):
         if isinstance(a, Scalar):
             return Scalar(a.future.map(np_op), a.runtime)
@@ -109,6 +116,7 @@ def _unary(name: str, np_op, a: ndarray, out: Optional[ndarray] = None, dtype=No
     task.add_input("a", a.store)
     task.add_alignment_constraint(out.store, a.store)
     task.add_scalar_arg("op", np_op)
+    task.set_pointwise(name)
     task.execute()
     return out
 
@@ -323,6 +331,7 @@ def where(cond: ndarray, a, b) -> ndarray:
             task.add_alignment_constraint(out.store, operand.store)
         else:
             task.add_scalar_arg(name, operand.future if isinstance(operand, Scalar) else operand)
+    task.set_pointwise("where")
     task.execute()
     return out
 

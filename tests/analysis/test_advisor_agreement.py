@@ -30,11 +30,16 @@ VOLUME_RTOL = 0.01
 
 
 def capture(fn, procs=2):
-    """Run ``fn`` with validation on, recording plan + event log."""
+    """Run ``fn`` with validation on, recording plan + event log.
+
+    Fusion stays off: the predictor replays launches one by one, so the
+    ground-truth log must be launch-for-launch comparable.  The fusion
+    agreement test (test_fusion_agreement.py) covers the fused window.
+    """
     machine = laptop()
     runtime = Runtime(
         machine.scope(ProcessorKind.GPU, procs),
-        RuntimeConfig.legate(validate=True),
+        RuntimeConfig.legate(validate=True, fusion=False),
     )
     plan = PlanTrace(name=getattr(fn, "__name__", "capture"), deferred=False)
     plan.bind(runtime)

@@ -31,6 +31,7 @@ class TestOutOfMemory:
         with runtime_scope(rt):
             with pytest.raises(OutOfMemoryError) as err:
                 rnp.zeros(10_000_000)
+                rt.barrier()  # deferred launches map at the sync point
             assert "framebuffer" in str(err.value)
 
     def test_error_reports_requested_and_available(self):
@@ -39,6 +40,7 @@ class TestOutOfMemory:
         with runtime_scope(rt):
             with pytest.raises(OutOfMemoryError) as err:
                 rnp.zeros(10_000_000)
+                rt.barrier()
             assert err.value.requested > err.value.available
 
     def test_adding_processors_avoids_oom(self):
@@ -48,6 +50,7 @@ class TestOutOfMemory:
         rt1 = Runtime(machine1.scope(ProcessorKind.GPU, 1), RuntimeConfig.legate())
         with runtime_scope(rt1), pytest.raises(OutOfMemoryError):
             rnp.zeros(n)
+            rt1.barrier()
         machine2 = tiny_gpu_machine(fb_mb=0.4)
         rt2 = Runtime(machine2.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate())
         with runtime_scope(rt2):
@@ -60,6 +63,7 @@ class TestOutOfMemory:
         with runtime_scope(rt):
             with pytest.raises(OutOfMemoryError):
                 rnp.zeros(10_000_000)
+                rt.barrier()
             small = rnp.ones(64)
             assert float(rnp.sum(small)) == 64.0
 

@@ -211,6 +211,7 @@ class TestFill:
     def test_fill_value(self, gpu2):
         r = gpu2.create_region((10,), np.float64)
         gpu2.fill(r, 7.5)
+        gpu2.barrier()  # fills are fusible: flush the deferred window
         np.testing.assert_array_equal(r.data, np.full(10, 7.5))
         assert gpu2.profiler.fills == 1
 

@@ -161,7 +161,8 @@ class TestProfilerEvents:
             a = rnp.ones(64)
             b = a * 2.0
         names = [name for name, _, _ in rt.profiler.events]
-        assert "multiply" in names
+        # The fill and the multiply fuse into one launch by default.
+        assert any("multiply" in name for name in names)
         for _, start, finish in rt.profiler.events:
             assert finish >= start
 

@@ -88,6 +88,34 @@ class TestTrace:
         assert trace.captures == 2
         assert trace.replays == 0
 
+    def test_cg_tail_iteration_diverges_gracefully(self, rt):
+        """A CG loop whose final iteration does extra work (the
+        convergence tail) diverges mid-body: the runtime degrades to
+        full dynamic cost for that body and re-captures instead of
+        aborting, and the numerics are untouched."""
+        A = sp.csr_matrix(
+            np.diag(np.arange(2.0, 34.0)) - np.eye(32, k=1) - np.eye(32, k=-1)
+        )
+        x = rnp.ones(32)
+        trace = Trace(rt, "cg-body")
+        iters = 5
+        for it in range(iters):
+            with trace:
+                x = loop_body(A, x)
+                if it == iters - 1:  # tail: compute the final residual
+                    r = A @ x
+                    r -= x
+        assert trace.captures == 2  # initial capture + tail re-capture
+        assert trace.replays == iters - 2
+        # The re-captured (longer) body replays cleanly from here on.
+        for it in range(2):
+            with trace:
+                x = loop_body(A, x)
+                r = A @ x
+                r -= x
+        assert trace.replays == iters - 2 + 2
+        assert np.isfinite(x.to_numpy()).all()
+
     def test_nesting_rejected(self, rt):
         trace = Trace(rt, "t")
         with trace.__class__(rt, "outer") as outer, pytest.raises(RuntimeError):

@@ -13,8 +13,10 @@ class TestFusion:
     def test_single_launch(self, rt):
         x = rnp.array(np.arange(8.0))
         b = rnp.array(np.ones(8))
+        rt.barrier()  # flush the two array-upload fills first
         snap = rt.profiler.snapshot()
         evaluate(lazy(x) * 2.0 + lazy(b) - 0.5)
+        rt.barrier()  # flush the deferred window before counting
         assert rt.profiler.since(snap).tasks_launched == 1
 
     def test_matches_unfused(self, rt):
