@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test validate check lint advise bench
+.PHONY: test validate check lint advise bench chaos
 
 test:
 	python -m pytest -x -q
@@ -27,3 +27,10 @@ advise:
 # and fails if fusion saves < 30% of launches or changes any bit.
 bench:
 	python scripts/bench.py
+
+# Chaos benchmark: CG under deterministic fault schedules (transient
+# copy/alloc faults, GPU loss + checkpoint/replay recovery), writes
+# BENCH_chaos.json and fails unless every run is bitwise-identical to
+# the fault-free baseline, checker-clean and within bounded overhead.
+chaos:
+	python scripts/chaos.py

@@ -33,6 +33,9 @@ REPRO_VALIDATE=1 python -m pytest -x -q \
 echo "== fusion bench smoke (fused vs unfused, writes BENCH_fusion.json) =="
 python scripts/bench.py --output BENCH_fusion.json > /dev/null
 
+echo "== chaos bench smoke (fault schedules vs baseline, writes BENCH_chaos.json) =="
+python scripts/chaos.py --output BENCH_chaos.json > /dev/null
+
 echo "== advisor smoke (static trace, no kernels) =="
 python -m repro.analysis advise examples/advisor_demo.py \
     --machine summit:4 -- --maxiter 2 > /dev/null

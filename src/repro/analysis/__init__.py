@@ -31,8 +31,10 @@ from repro.analysis.checker import Violation, check_log
 from repro.analysis.costmodel import KernelModel, for_task_name, get_model
 from repro.analysis.events import (
     AllreduceEvent,
+    CheckpointEvent,
     CopyEvent,
     EventLog,
+    FaultEvent,
     FoldEvent,
     ReqAccess,
     ShardEvent,
@@ -80,9 +82,11 @@ __all__ = [
     "Advice",
     "AdvisorConfig",
     "AllreduceEvent",
+    "CheckpointEvent",
     "CopyEvent",
     "DistalLintError",
     "EventLog",
+    "FaultEvent",
     "Finding",
     "FoldEvent",
     "KernelModel",

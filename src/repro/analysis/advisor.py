@@ -365,6 +365,9 @@ class _Predictor:
         self._sim_window: List[fusion.LaunchSummary] = []
         self.fusion_groups: List[Tuple[Tuple[str, ...], int]] = []
         self._oom_memories: set = set()
+        # memory uid -> estimated scaled bytes the runtime would spill
+        # (LRU evictions that relieved a would-be OOM under config.spill).
+        self._spill_bytes: Counter = Counter()
         self._tick_count = 0.0
         self.est_kernel_seconds = 0.0
 
@@ -653,14 +656,39 @@ class _Predictor:
                 memory, region.uid, rect, region.itemsize,
                 scale=self._mem_scale(region),
             )
+            return
         except OutOfMemoryError as exc:
-            if memory.uid not in self._oom_memories:
-                self._oom_memories.add(memory.uid)
-                self._finding(
-                    "error", "capacity",
-                    f"memory {_mem_name(memory)} overflows while mapping "
-                    f"region {region.name!r}: {exc}",
+            first = exc
+        if getattr(self.config, "spill", False):
+            # The runtime would relieve the pressure instead of dying:
+            # model its policy (pool drain, then LRU eviction) and count
+            # the evicted bytes as estimated spill traffic.  Evicting
+            # clean vs. spilling dirty is a coherence distinction the
+            # static replay cannot make, so every evicted byte is
+            # (pessimistically) charged as spill.
+            state = self.instances.state(memory)
+            state.drain_pool()
+            freed = state.evict_lru(first.requested)
+            try:
+                self.instances.ensure(
+                    memory, region.uid, rect, region.itemsize,
+                    scale=self._mem_scale(region),
                 )
+                self._spill_bytes[memory.uid] += int(freed)
+                return
+            except OutOfMemoryError:
+                pass  # even a drained memory cannot hold it: hard OOM
+        if memory.uid not in self._oom_memories:
+            self._oom_memories.add(memory.uid)
+            hint = (
+                "" if getattr(self.config, "spill", False)
+                else " (config.spill would degrade this to spill traffic)"
+            )
+            self._finding(
+                "error", "capacity",
+                f"memory {_mem_name(memory)} overflows while mapping "
+                f"region {region.name!r}: {first}{hint}",
+            )
 
     def _stage(self, region, memory, rect) -> None:
         """The mapper's staging walk: derive the copies a shard needs."""
@@ -867,6 +895,19 @@ def _lint_capacity_pressure(predictor: _Predictor) -> None:
             continue
         if memory.uid in predictor._oom_memories:
             continue  # already an error
+        if memory.uid in predictor._spill_bytes:
+            # Would-be OOMs that config.spill relieves: the run completes
+            # but pays eviction/spill traffic — a warning, not an error.
+            spilled = predictor._spill_bytes[memory.uid]
+            predictor._finding(
+                "warning", "spill",
+                f"memory {_mem_name(memory)} exceeds its "
+                f"{_fmt_bytes(budget)} budget; graceful degradation "
+                f"evicts/spills an estimated {_fmt_bytes(spilled)} "
+                f"(runtime policy: LRU clean eviction, then dirty spill "
+                f"to system memory)",
+            )
+            continue
         if peak / budget >= options.pressure_warn_fraction:
             predictor._finding(
                 "warning", "memory-pressure",

@@ -35,6 +35,7 @@ from typing import Dict, List, Tuple
 from repro.analysis.events import (
     CopyEvent,
     EventLog,
+    FaultEvent,
     FoldEvent,
     ReqAccess,
     ShardEvent,
@@ -114,9 +115,11 @@ def check_log(log: EventLog, max_violations: int = 100) -> List[Violation]:
             break
         if isinstance(ev, CopyEvent):
             names.setdefault(ev.region, ev.region_name)
-            if ev.why != "stage":
+            if ev.why not in ("stage", "spill", "checkpoint"):
                 # Fold transfers carry REDUCE partials, not region
-                # contents; they establish nothing.
+                # contents; they establish nothing.  Spill and
+                # checkpoint copies move real region contents (dirty
+                # pieces to system memory) and do establish validity.
                 continue
             st = state(ev.region)
             # The source must itself have been able to supply the bytes.
@@ -159,8 +162,11 @@ def check_log(log: EventLog, max_violations: int = 100) -> List[Violation]:
                 # 2. Stale reads: every read must be justified by the
                 # writes and copies replayed so far.  Exact image
                 # partitions read only their recorded pieces, not the
-                # bounding rect.
-                if req.reads:
+                # bounding rect.  Journal-replay shards are exempt:
+                # their reads were satisfied pre-fault, and a value
+                # consumed and then overwritten may no longer exist
+                # anywhere (their *writes* still count, below).
+                if req.reads and not ev.replay:
                     for want in req.read_pieces:
                         for piece in st.stale(ev.memory, want):
                             violations.append(
@@ -179,4 +185,11 @@ def check_log(log: EventLog, max_violations: int = 100) -> List[Violation]:
         elif isinstance(ev, FoldEvent):
             names.setdefault(ev.region, ev.region_name)
             state(ev.region).mark_written(ev.memory, ev.rect)
+        elif isinstance(ev, FaultEvent):
+            # A loss wipes the listed memories: drop their validity in
+            # every region (``written`` history stays — post-recovery
+            # reads must be re-justified by replayed copies).
+            for st in states.values():
+                for mem in ev.memories:
+                    st.valid.pop(mem, None)
     return violations[:max_violations]

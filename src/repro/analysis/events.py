@@ -73,7 +73,14 @@ class TaskEvent:
 
 @dataclass(frozen=True)
 class ShardEvent:
-    """One color of a launch: its accesses, placement and interval."""
+    """One color of a launch: its accesses, placement and interval.
+
+    ``replay`` marks shards re-executed by post-loss journal replay:
+    their writes re-establish validity, but their reads were satisfied
+    in the original (pre-fault) execution — the checker exempts them
+    from the stale-read rule, since a value consumed before the fault
+    and then overwritten may legitimately no longer exist anywhere.
+    """
 
     seq: int
     launch: int
@@ -84,6 +91,7 @@ class ShardEvent:
     reqs: Tuple[ReqAccess, ...]
     start: float
     finish: float
+    replay: bool = False
     kind: str = "shard"
 
 
@@ -132,6 +140,34 @@ class AllreduceEvent:
     kind: str = "allreduce"
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """An injected fault (and its recovery) entering the stream.
+
+    ``fault`` is the kind injected ("copy", "alloc", "gpu-loss",
+    "node-loss"); for losses, ``memories`` lists the memory uids whose
+    contents vanished — the checker drops their validity just as the
+    runtime's coherence maps do, so post-recovery reads must be
+    justified by replayed copies.
+    """
+
+    seq: int
+    fault: str
+    memories: Tuple[int, ...] = ()
+    detail: str = ""
+    kind: str = "fault"
+
+
+@dataclass(frozen=True)
+class CheckpointEvent:
+    """A checkpoint epoch: dirty pieces snapshotted to system memory."""
+
+    seq: int
+    nbytes: int
+    regions: int
+    kind: str = "checkpoint"
+
+
 Event = object  # union of the dataclasses above
 
 
@@ -167,12 +203,13 @@ class EventLog:
         reqs: Iterable[ReqAccess],
         start: float,
         finish: float,
+        replay: bool = False,
     ) -> None:
         """Record one executed shard with its region accesses."""
         self.events.append(
             ShardEvent(
                 self._next(), launch, name, color, proc, memory,
-                tuple(reqs), start, finish,
+                tuple(reqs), start, finish, replay,
             )
         )
 
@@ -211,6 +248,18 @@ class EventLog:
     def record_allreduce(self, op: str, participants: int) -> None:
         """Record a scalar allreduce."""
         self.events.append(AllreduceEvent(self._next(), op, participants))
+
+    def record_fault(
+        self, fault: str, memories: Iterable[int] = (), detail: str = ""
+    ) -> None:
+        """Record an injected fault (losses carry the wiped memories)."""
+        self.events.append(
+            FaultEvent(self._next(), fault, tuple(memories), detail)
+        )
+
+    def record_checkpoint(self, nbytes: int, regions: int) -> None:
+        """Record one checkpoint epoch."""
+        self.events.append(CheckpointEvent(self._next(), int(nbytes), regions))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -272,6 +321,7 @@ def _event_to_json(ev) -> dict:
             "kind": "shard", "seq": ev.seq, "launch": ev.launch,
             "name": ev.name, "color": ev.color, "proc": ev.proc,
             "memory": ev.memory, "start": ev.start, "finish": ev.finish,
+            "replay": ev.replay,
             "reqs": [
                 {
                     "name": r.name, "region": r.region,
@@ -301,6 +351,16 @@ def _event_to_json(ev) -> dict:
             "kind": "allreduce", "seq": ev.seq, "op": ev.op,
             "participants": ev.participants,
         }
+    if isinstance(ev, FaultEvent):
+        return {
+            "kind": "fault", "seq": ev.seq, "fault": ev.fault,
+            "memories": list(ev.memories), "detail": ev.detail,
+        }
+    if isinstance(ev, CheckpointEvent):
+        return {
+            "kind": "checkpoint", "seq": ev.seq, "nbytes": ev.nbytes,
+            "regions": ev.regions,
+        }
     raise TypeError(f"unknown event {ev!r}")
 
 
@@ -320,6 +380,7 @@ def _event_from_json(obj: dict):
         return ShardEvent(
             obj["seq"], obj["launch"], obj["name"], obj["color"],
             obj["proc"], obj["memory"], reqs, obj["start"], obj["finish"],
+            obj.get("replay", False),
         )
     if kind == "copy":
         return CopyEvent(
@@ -334,4 +395,12 @@ def _event_from_json(obj: dict):
         )
     if kind == "allreduce":
         return AllreduceEvent(obj["seq"], obj["op"], obj["participants"])
+    if kind == "fault":
+        return FaultEvent(
+            obj["seq"], obj["fault"],
+            tuple(int(m) for m in obj.get("memories", [])),
+            obj.get("detail", ""),
+        )
+    if kind == "checkpoint":
+        return CheckpointEvent(obj["seq"], obj["nbytes"], obj["regions"])
     raise ValueError(f"unknown event kind {kind!r}")

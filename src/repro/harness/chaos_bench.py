@@ -1,0 +1,158 @@
+"""Resilience measurement harness (deterministic chaos injection).
+
+Runs the Fig. 9 CG solver loop fault-free to establish a baseline, then
+re-runs it under three deterministic fault schedules
+(:mod:`repro.legion.chaos`):
+
+* ``transient_copy`` — every copy has a seeded probability of a
+  transient link error, retried with exponential backoff;
+* ``alloc_flaky`` — instance mappings hit seeded transient allocation
+  failures;
+* ``gpu_loss`` — a whole GPU framebuffer vanishes mid-solve; the
+  runtime recovers from the last checkpoint epoch by journal replay.
+
+Every run records for comparison: a bitwise digest of the solution
+vector (required identical to the baseline — faults are a *timing*
+event, never a numerics event), modeled solve time (the resilience
+overhead), fault/retry/recovery counters, and the offline checker's
+verdict over the recorded event log (zero violations required — the
+recovery protocol must leave a provably coherent history).
+
+:func:`run_all` packages everything into the ``BENCH_chaos.json``
+payload written by ``scripts/chaos.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+import repro.numeric as rnp
+import repro.sparse as sp
+from repro.analysis.checker import check_log
+from repro.apps.poisson import poisson2d_scipy
+from repro.legion.chaos import ChaosConfig, LossSchedule
+from repro.legion.runtime import Runtime, RuntimeConfig, runtime_scope
+from repro.machine import Machine, ProcessorKind, summit
+
+CG_GRID = 64  # 4096-row 2-D Poisson, same workload as fusion_bench
+CG_ITERS = 8
+CHAOS_SEED = 7
+COPY_FAULT_RATE = 0.05
+ALLOC_FAULT_RATE = 0.05
+CHECKPOINT_EVERY = 8  # task launches per checkpoint epoch
+# Acceptance bar: modeled solve time under chaos may grow by at most
+# this factor over the fault-free baseline (retries, backoff, recovery
+# delay and replay all charge the simulated clock).
+MAX_OVERHEAD_RATIO = 3.0
+
+
+def _digest(arr) -> str:
+    data = arr.to_numpy()
+    return hashlib.sha256(data.tobytes()).hexdigest()
+
+
+def _measure(
+    machine: Machine,
+    procs: int,
+    chaos: Optional[ChaosConfig],
+    grid: int = CG_GRID,
+    iters: int = CG_ITERS,
+) -> Dict:
+    """One fig9-style CG run under a fault schedule; returns metrics.
+
+    The runtime records an event log (``validate=True``) and the
+    offline checker replays it afterwards: fault and recovery events
+    must leave a history with zero coherence/ordering violations.
+    """
+    rt = Runtime(
+        machine.scope(ProcessorKind.GPU, procs),
+        RuntimeConfig.legate(chaos=chaos, validate=True),
+    )
+    with runtime_scope(rt):
+        A = sp.csr_matrix(poisson2d_scipy(grid))
+        b = rnp.ones(grid * grid)
+        # Warm-up solve: staging + instance steady state.
+        sp.linalg.cg(A, b, rtol=0.0, maxiter=1)
+        t0 = rt.barrier()
+        x, _info = sp.linalg.cg(A, b, rtol=0.0, maxiter=iters)
+        t1 = rt.barrier()
+        digest = _digest(x)
+    prof = rt.profiler
+    violations = check_log(rt.event_log)
+    return {
+        "chaos": "none" if chaos is None else repr(chaos),
+        "iters": iters,
+        "modeled_time_s": t1 - t0,
+        "t_solve_start": t0,
+        "t_solve_end": t1,
+        "faults_injected": {k: v for k, v in sorted(prof.faults_injected.items()) if v},
+        "retries": prof.retries,
+        "backoff_seconds": prof.backoff_seconds,
+        "evictions": prof.evictions,
+        "spills": prof.spills,
+        "checkpoints": prof.checkpoints,
+        "checkpoint_bytes": prof.checkpoint_bytes,
+        "tasks_reexecuted": prof.tasks_reexecuted,
+        "checker_violations": [str(v) for v in violations],
+        "solution_sha256": digest,
+    }
+
+
+def _compare(baseline: Dict, run: Dict) -> Dict:
+    """Attach the acceptance-bar fields to one chaos run."""
+    overhead = (
+        run["modeled_time_s"] / baseline["modeled_time_s"]
+        if baseline["modeled_time_s"] > 0
+        else float("inf")
+    )
+    return {
+        **run,
+        "overhead_ratio": overhead,
+        "bitwise_identical": run["solution_sha256"] == baseline["solution_sha256"],
+        "checker_clean": not run["checker_violations"],
+    }
+
+
+def _scenarios(t_solve: Tuple[float, float]) -> Dict[str, ChaosConfig]:
+    """The fault schedules, anchored to the baseline's solve window.
+
+    Runs are deterministic, so the fault-free timeline predicts the
+    chaos run's timeline up to the first fault — scheduling the GPU
+    loss at the midpoint of the baseline's solve window guarantees it
+    lands mid-solve.
+    """
+    t_mid = (t_solve[0] + t_solve[1]) / 2.0
+    return {
+        "transient_copy": ChaosConfig(
+            seed=CHAOS_SEED, copy_fault_rate=COPY_FAULT_RATE
+        ),
+        "alloc_flaky": ChaosConfig(
+            seed=CHAOS_SEED, alloc_fault_rate=ALLOC_FAULT_RATE
+        ),
+        "gpu_loss": ChaosConfig(
+            seed=CHAOS_SEED,
+            checkpoint_every=CHECKPOINT_EVERY,
+            losses=(LossSchedule("gpu", 1, t_mid),),
+        ),
+    }
+
+
+def run_all(procs: int = 2) -> Dict:
+    """The full BENCH_chaos payload: baseline + every fault schedule."""
+    machine = summit(nodes=1)
+    baseline = _measure(machine, procs, None)
+    scenarios = {}
+    for name, chaos in _scenarios(
+        (baseline["t_solve_start"], baseline["t_solve_end"])
+    ).items():
+        scenarios[name] = _compare(
+            baseline, _measure(summit(nodes=1), procs, chaos)
+        )
+    return {
+        "benchmark": "resilience (deterministic chaos, checkpoint/restart)",
+        "machine": f"summit:1 x {procs} GPUs (simulated)",
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+        "baseline": baseline,
+        "scenarios": scenarios,
+    }

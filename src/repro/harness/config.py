@@ -41,7 +41,7 @@ def nodes_needed(columns=WEAK_SCALING_COLUMNS) -> int:
 
 
 def paper_legate(**kwargs):
-    """Legate config as the paper measured it: no automatic fusion.
+    """Legate config as the paper measured it: no fusion, no spilling.
 
     The published system predates the deferred fusion window (§6.1
     names fusion as future work), and several figure shapes depend on
@@ -49,10 +49,17 @@ def paper_legate(**kwargs):
     counts both shrink once temporaries are elided.  Figure
     regeneration therefore pins ``fusion=False``; the fusion win is
     measured separately (:mod:`repro.harness.fusion_bench`).
+
+    Spilling is pinned off for the same reason: the paper's OOM
+    outcomes (Fig. 11's 64-GPU quantum point, Fig. 12's CuPy ML-50M/
+    100M failures) are first-class results, and graceful degradation
+    (``RuntimeConfig.spill``) would erase them.  The resilience win is
+    measured separately (:mod:`repro.harness.chaos_bench`).
     """
     from repro.legion.runtime import RuntimeConfig
 
     kwargs.setdefault("fusion", False)
+    kwargs.setdefault("spill", False)
     return RuntimeConfig.legate(**kwargs)
 
 

@@ -17,7 +17,7 @@ Outcomes to reproduce (paper §6.1):
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -67,7 +67,10 @@ def _quantum_throughput(
     config_factory,
     per_node: Optional[int] = None,
     steps: int = STEPS,
-) -> Optional[float]:
+) -> Tuple[Optional[float], Optional[str]]:
+    """Returns ``(throughput, oom_detail)``: on OOM the throughput is
+    None and the detail names the memory, region, rect and task that
+    overflowed (surfaced as a table footnote)."""
     n_atoms = _build_atoms(procs)
     dim_build = blockade_state_count(n_atoms)
     rt = Runtime(
@@ -87,9 +90,9 @@ def _quantum_throughput(
             t0 = rt.barrier()
             solve_ivp(rhs, (0.0, 0.01 * steps), y, method="GBS8", step=0.01)
             t1 = rt.barrier()
-        return steps / (t1 - t0)
-    except OutOfMemoryError:
-        return None
+        return steps / (t1 - t0), None
+    except OutOfMemoryError as exc:
+        return None, exc.describe()
 
 
 def run(machine: Optional[Machine] = None, proc_counts: Optional[List[int]] = None) -> FigureResult:
@@ -109,27 +112,27 @@ def run(machine: Optional[Machine] = None, proc_counts: Optional[List[int]] = No
         dim_full = _full_dim(procs)
         fig.series_for("Legate-GPU").add(
             procs,
-            _quantum_throughput(
+            *_quantum_throughput(
                 machine, ProcessorKind.GPU, procs, dim_full,
                 paper_legate, per_node=GPUS_PER_NODE,
             ),
         )
         fig.series_for("Legate-CPU").add(
             procs,
-            _quantum_throughput(
+            *_quantum_throughput(
                 machine, ProcessorKind.CPU_SOCKET, procs, dim_full,
                 paper_legate,
             ),
         )
         fig.series_for("CuPy (1 GPU)").add(
             procs,
-            _quantum_throughput(
+            *_quantum_throughput(
                 machine, ProcessorKind.GPU, 1, _full_dim(1), RuntimeConfig.cupy
             ),
         )
         fig.series_for("SciPy").add(
             procs,
-            _quantum_throughput(
+            *_quantum_throughput(
                 machine, ProcessorKind.CPU_CORE, 1, _full_dim(1),
                 RuntimeConfig.scipy,
             ),

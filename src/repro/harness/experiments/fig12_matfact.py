@@ -14,7 +14,7 @@ Outcomes to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -54,8 +54,12 @@ def _try_run(
     config_factory,
     gpus: int,
     dataset: str,
-) -> Optional[float]:
-    """Samples/second for one configuration, or None on OOM."""
+    seed: int = 0,
+) -> Tuple[Optional[float], Optional[str]]:
+    """Returns ``(samples/second, oom_detail)`` for one configuration.
+
+    On OOM the throughput is None and the detail names the memory,
+    region, rect and task that overflowed (surfaced as a footnote)."""
     (users, items, ratings), spec = load_dataset(dataset, scale=BUILD_SCALE)
     n_users = int(users.max()) + 1
     n_items = int(items.max()) + 1
@@ -81,7 +85,7 @@ def _try_run(
             # data_scale, giving n_ratings * STORAGE_FACTOR real bytes.
             resident = rnp.ones(max(1, int(len(ratings) * STORAGE_FACTOR / 8)))
             rt.barrier()
-            rng = np.random.default_rng(0)
+            rng = np.random.default_rng(seed)
             # Warm-up batch.
             sgd_epoch(model, users, items, ratings, batch_size=batch_build,
                       rng=rng, max_batches=1)
@@ -92,10 +96,10 @@ def _try_run(
             )
             t1 = rt.barrier()
         if t1 <= t0:
-            return None
-        return samples * data_scale / (t1 - t0)
-    except OutOfMemoryError:
-        return None
+            return None, None
+        return samples * data_scale / (t1 - t0), None
+    except OutOfMemoryError as exc:
+        return None, exc.describe()
 
 
 def run(machine: Optional[Machine] = None, datasets: Optional[List[str]] = None) -> FigureResult:
@@ -113,15 +117,16 @@ def run(machine: Optional[Machine] = None, datasets: Optional[List[str]] = None)
     legate = fig.series_for("Legate Sparse (samples/s)")
     resources = fig.series_for("Legate min resources (GPUs)")
     for idx, dataset in enumerate(datasets):
-        cupy.add(idx, _try_run(machine, RuntimeConfig.cupy, 1, dataset))
+        cupy.add(idx, *_try_run(machine, RuntimeConfig.cupy, 1, dataset))
         best = None
+        detail = None
         for gpus in GPU_CANDIDATES:
-            throughput = _try_run(machine, paper_legate, gpus, dataset)
+            throughput, detail = _try_run(machine, paper_legate, gpus, dataset)
             if throughput is not None:
                 best = (gpus, throughput)
                 break
         if best is None:
-            legate.add(idx, None)
+            legate.add(idx, None, detail)
             resources.add(idx, None)
         else:
             legate.add(idx, best[1])

@@ -12,10 +12,26 @@ class Series:
 
     name: str
     points: List[Tuple[int, Optional[float]]] = field(default_factory=list)
+    # Per-point annotations (e.g. the OutOfMemoryError account for an
+    # OOM cell), keyed by processor count; rendered as table footnotes.
+    details: Dict[int, str] = field(default_factory=dict)
 
-    def add(self, procs: int, throughput: Optional[float]) -> None:
-        """Append a (processors, throughput|None) point."""
+    def add(
+        self, procs: int, throughput: Optional[float], detail: Optional[str] = None
+    ) -> None:
+        """Append a (processors, throughput|None) point.
+
+        ``detail`` attaches a per-point account — for OOM points, the
+        exception's :meth:`~repro.legion.exceptions.OutOfMemoryError.describe`
+        string naming the memory, region, rect and mapping task.
+        """
         self.points.append((procs, throughput))
+        if detail:
+            self.details[procs] = detail
+
+    def detail_at(self, procs: int) -> Optional[str]:
+        """The annotation attached at a processor count, if any."""
+        return self.details.get(procs)
 
     def at(self, procs: int) -> Optional[float]:
         """Throughput at a processor count (None if absent/OOM)."""
@@ -78,6 +94,9 @@ class FigureResult:
                 else:
                     cells.append("-".rjust(colw))
             lines.append(name.ljust(width) + "".join(cells))
+        for name, series in self.series.items():
+            for procs, detail in sorted(series.details.items()):
+                lines.append(f"  {name} @ {procs}: {detail}")
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)

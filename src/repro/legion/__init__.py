@@ -22,7 +22,8 @@ Legate Sparse (SC '23) is built on:
   regenerates the paper's Summit-scale weak-scaling results on one host.
 """
 
-from repro.legion.exceptions import LegionError, OutOfMemoryError
+from repro.legion.chaos import ChaosConfig, ChaosInjector, LossSchedule
+from repro.legion.exceptions import FaultError, LegionError, OutOfMemoryError
 from repro.legion.future import Future
 from repro.legion.partition import (
     ImageByCoordinate,
@@ -45,11 +46,15 @@ from repro.legion.task import Pointwise, Requirement, ShardContext, TaskLaunch
 from repro.legion.tracing import Trace
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "FaultError",
     "Future",
     "Pointwise",
     "ImageByCoordinate",
     "ImageByRange",
     "LegionError",
+    "LossSchedule",
     "OutOfMemoryError",
     "Partition",
     "Privilege",

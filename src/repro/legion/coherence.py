@@ -134,6 +134,42 @@ class RegionCoherence:
             self.valid[mem_uid] = out
         self.mark_valid(memory_uid, rect, time)
 
+    def invalidate(self, memory_uid: int, rect: Optional[Rect] = None) -> None:
+        """Drop one memory's validity (all of it, or just ``rect``).
+
+        This is how evictions, spills and simulated node losses are
+        expressed: the data stops being *resident* there, while the
+        ``written`` history is kept so reads of the dropped pieces must
+        be re-justified by copies (or flagged stale).
+        """
+        if rect is None:
+            self.valid.pop(memory_uid, None)
+            return
+        pieces = self.valid.get(memory_uid)
+        if not pieces:
+            return
+        out: List[ValidPiece] = []
+        for piece in pieces:
+            for leftover in piece.rect.subtract(rect):
+                out.append(ValidPiece(leftover, piece.ready_time))
+        self.valid[memory_uid] = out
+
+    def only_copy(self, memory_uid: int, rect: Rect) -> RectSet:
+        """Written pieces of ``rect`` whose *only* valid copy is here.
+
+        These are the "dirty" bytes an eviction would lose — the spill
+        policy must write them back (to system memory) before dropping
+        the instance, where a clean instance can simply be discarded.
+        """
+        dirty = self.written.intersect_rect(rect).intersect(
+            self.valid_set(memory_uid)
+        )
+        for mem_uid in self.valid:
+            if mem_uid == memory_uid or dirty.is_empty():
+                continue
+            dirty = dirty.subtract(self.valid_set(mem_uid))
+        return dirty
+
     def invalidate_all(self) -> None:
         """Forget all placement (data stays exact)."""
         self.valid.clear()

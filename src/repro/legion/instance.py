@@ -40,6 +40,10 @@ class Instance:
     itemsize: int
     alloc_bytes: int = 0
     scale: float = 1.0  # per-region memory magnification
+    # Logical LRU clock: the store's use tick when this instance was
+    # last found or created.  Eviction under memory pressure walks
+    # instances oldest-first (see MemoryState.lru_instances).
+    last_use: int = 0
 
     def __post_init__(self) -> None:
         self.alloc_bytes = max(self.alloc_bytes, self.nbytes)
@@ -80,12 +84,19 @@ class MemoryState:
         # once their consumers finish).  This is what makes the
         # quantum application's memory scale imperfectly (Fig. 11).
         self.inflight_window = int(inflight_window)
+        # Logical clock stamped onto instances for LRU eviction.
+        self._use_tick = 0
 
     # ------------------------------------------------------------------
     @property
     def available(self) -> int:
-        """Bytes still chargeable (capacity - reservation - used)."""
-        return self.memory.capacity - self.reserved_bytes - self.used_bytes
+        """Bytes still chargeable (capacity - reservation - used).
+
+        Never negative: ``_charge`` refuses any allocation that would
+        push usage past the budget, so a clamped zero only papers over
+        float noise, not real overdraft.
+        """
+        return max(0.0, self.memory.capacity - self.reserved_bytes - self.used_bytes)
 
     def _charge(self, nbytes: int, what: str, scale: Optional[float] = None) -> None:
         nbytes = nbytes * (self.data_scale if scale is None else scale)
@@ -128,8 +139,10 @@ class MemoryState:
         scale = self.data_scale if scale is None else float(scale)
         if rect.is_empty():
             return Instance(next(_instance_uid), region_uid, rect, itemsize, scale=scale), 0, False
+        self._use_tick += 1
         existing = self.find(region_uid, rect)
         if existing is not None:
+            existing.last_use = self._use_tick
             return existing, 0, False
 
         insts = self.instances.setdefault(region_uid, [])
@@ -154,21 +167,29 @@ class MemoryState:
                     # The existing allocation already has room: the view
                     # grows in place with no data movement.
                     best.rect = hull
+                    best.last_use = self._use_tick
                     return best, 0, False
                 grow = max(0, new_bytes - best.alloc_bytes)
                 try:
-                    self._charge(grow, "resize", best.scale)
-                except OutOfMemoryError:
-                    if len(self.pool) <= self.inflight_window:
-                        raise
-                    self.drain_pool()
-                    self._charge(grow, "resize", best.scale)
+                    try:
+                        self._charge(grow, "resize", best.scale)
+                    except OutOfMemoryError:
+                        if len(self.pool) <= self.inflight_window:
+                            raise
+                        self.drain_pool()
+                        self._charge(grow, "resize", best.scale)
+                except OutOfMemoryError as exc:
+                    raise exc.annotate(region_uid=region_uid, rect=rect) from None
                 move = old_bytes  # migrate prior contents into the new alloc
                 best.rect = hull
                 best.alloc_bytes = new_bytes
+                best.last_use = self._use_tick
                 return best, move, False
 
-        inst = self._allocate(region_uid, rect, itemsize, scale)
+        try:
+            inst = self._allocate(region_uid, rect, itemsize, scale)
+        except OutOfMemoryError as exc:
+            raise exc.annotate(region_uid=region_uid, rect=rect) from None
         insts.append(inst)
         # The caller must populate a brand-new instance: any bytes of the
         # needed rect already valid in this memory (in other instances)
@@ -195,6 +216,7 @@ class MemoryState:
             return Instance(
                 next(_instance_uid), region_uid, rect, itemsize,
                 max(needed, int(size / max(scale, 1e-12))), scale=scale,
+                last_use=self._use_tick,
             )
         try:
             self._charge(needed, "alloc", scale)
@@ -203,7 +225,10 @@ class MemoryState:
                 raise
             self.drain_pool()
             self._charge(needed, "alloc", scale)
-        return Instance(next(_instance_uid), region_uid, rect, itemsize, needed, scale=scale)
+        return Instance(
+            next(_instance_uid), region_uid, rect, itemsize, needed,
+            scale=scale, last_use=self._use_tick,
+        )
 
     def drain_pool(self) -> None:
         """Reclaim recycled allocations older than the in-flight window."""
@@ -230,6 +255,57 @@ class MemoryState:
     def region_footprint(self, region_uid: int) -> int:
         """Bytes this memory currently holds for one region."""
         return sum(i.nbytes for i in self.instances.get(region_uid, []))
+
+    # ------------------------------------------------------------------
+    # Pressure relief and failure primitives (composed by the runtime's
+    # spill policy and by the chaos recovery path).
+    # ------------------------------------------------------------------
+    def lru_instances(self) -> List[Instance]:
+        """Every resident instance, least recently used first."""
+        out = [i for insts in self.instances.values() for i in insts]
+        out.sort(key=lambda i: i.last_use)
+        return out
+
+    def drop_instance(self, inst: Instance) -> float:
+        """Remove one instance and release its charge (scaled bytes freed).
+
+        Unlike :meth:`free_region` this does NOT pool the allocation —
+        eviction exists to give the bytes back *now*.
+        """
+        insts = self.instances.get(inst.region_uid)
+        if not insts or inst not in insts:
+            return 0.0
+        insts.remove(inst)
+        if not insts:
+            del self.instances[inst.region_uid]
+        freed = inst.alloc_bytes * inst.scale
+        if inst.alloc_bytes > 0:
+            self._release(inst.alloc_bytes, inst.scale)
+        return freed
+
+    def evict_lru(self, need_scaled: float) -> float:
+        """Drop least-recently-used instances until ``need_scaled`` bytes
+        are freed (or nothing is left); returns the scaled bytes freed.
+
+        Cleanliness-blind — the runtime's spill policy filters for
+        clean-vs-dirty via coherence before dropping; this raw form is
+        what the static advisor uses to *estimate* spill traffic.
+        """
+        freed = 0.0
+        for inst in self.lru_instances():
+            if freed >= need_scaled:
+                break
+            freed += self.drop_instance(inst)
+        return freed
+
+    def lose(self) -> None:
+        """Simulate losing this memory: all contents vanish, uncharged.
+
+        The peak high-water mark survives (it measures what the run
+        needed, not what a fault left behind)."""
+        self.instances.clear()
+        self.pool.clear()
+        self.used_bytes = 0.0
 
 
 class InstanceManager:
@@ -280,6 +356,12 @@ class InstanceManager:
         """Recycle the region's allocations in every memory."""
         for st in self._states.values():
             st.free_region(region_uid)
+
+    def lose_memory(self, memory_uid: int) -> None:
+        """Simulate a fault wiping one memory (see MemoryState.lose)."""
+        st = self._states.get(memory_uid)
+        if st is not None:
+            st.lose()
 
     def used_bytes(self, memory: Memory) -> int:
         """Currently charged bytes (live + pooled) in a memory."""

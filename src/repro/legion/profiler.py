@@ -33,6 +33,20 @@ class Profiler:
     tasks_fused_away: int = 0
     regions_elided: int = 0
     launch_overhead_seconds: float = 0.0
+    # Resilience (repro.legion.chaos): injected faults by kind
+    # ("copy", "alloc", "gpu-loss", "node-loss"), retries performed,
+    # simulated backoff time, spill-policy evictions/spills, checkpoint
+    # traffic, and tasks re-executed by journal replay after a loss.
+    faults_injected: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    evictions: int = 0
+    eviction_bytes: int = 0
+    spills: int = 0
+    spill_bytes: int = 0
+    checkpoints: int = 0
+    checkpoint_bytes: int = 0
+    tasks_reexecuted: int = 0
     copy_count: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     copy_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     task_counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -74,6 +88,34 @@ class Profiler:
     def record_launch_overhead(self, seconds: float) -> None:
         """Accumulate issue-clock launch overhead."""
         self.launch_overhead_seconds += seconds
+
+    def record_fault(self, kind: str) -> None:
+        """Count one injected fault (copy, alloc, gpu-loss, node-loss)."""
+        self.faults_injected[kind] += 1
+
+    def record_retry(self, backoff: float) -> None:
+        """Count one retry and its simulated backoff time."""
+        self.retries += 1
+        self.backoff_seconds += backoff
+
+    def record_eviction(self, nbytes: int) -> None:
+        """Count a clean-instance eviction under memory pressure."""
+        self.evictions += 1
+        self.eviction_bytes += int(nbytes)
+
+    def record_spill(self, nbytes: int) -> None:
+        """Count a dirty-instance spill to system memory."""
+        self.spills += 1
+        self.spill_bytes += int(nbytes)
+
+    def record_checkpoint(self, nbytes: int) -> None:
+        """Count one checkpoint epoch and its snapshot traffic."""
+        self.checkpoints += 1
+        self.checkpoint_bytes += int(nbytes)
+
+    def record_reexecution(self, count: int = 1) -> None:
+        """Count tasks re-executed by post-loss journal replay."""
+        self.tasks_reexecuted += count
 
     def record_event(self, name: str, start: float, finish: float) -> None:
         """Record a (name, start, finish) event if enabled."""
@@ -123,6 +165,29 @@ class Profiler:
                 f"instance resizes: {self.resize_copies} "
                 f"({self.resize_bytes:,} bytes migrated)"
             )
+        total_faults = sum(self.faults_injected.values())
+        if total_faults or self.retries:
+            kinds = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.faults_injected.items()) if v
+            )
+            lines.append(
+                f"faults:           {total_faults} injected"
+                + (f" ({kinds})" if kinds else "")
+                + f", {self.retries} retries, "
+                f"{self.backoff_seconds:.6f}s backoff"
+            )
+        if self.evictions or self.spills:
+            lines.append(
+                f"memory pressure:  {self.evictions} evictions "
+                f"({self.eviction_bytes:,}B), {self.spills} spills "
+                f"({self.spill_bytes:,}B)"
+            )
+        if self.checkpoints or self.tasks_reexecuted:
+            lines.append(
+                f"recovery:         {self.checkpoints} checkpoints "
+                f"({self.checkpoint_bytes:,}B), "
+                f"{self.tasks_reexecuted} tasks re-executed"
+            )
         top = sorted(self.task_counts.items(), key=lambda kv: -kv[1])[:5]
         if top:
             lines.append("hottest tasks:")
@@ -143,10 +208,20 @@ class Profiler:
             tasks_fused_away=self.tasks_fused_away,
             regions_elided=self.regions_elided,
             launch_overhead_seconds=self.launch_overhead_seconds,
+            retries=self.retries,
+            backoff_seconds=self.backoff_seconds,
+            evictions=self.evictions,
+            eviction_bytes=self.eviction_bytes,
+            spills=self.spills,
+            spill_bytes=self.spill_bytes,
+            checkpoints=self.checkpoints,
+            checkpoint_bytes=self.checkpoint_bytes,
+            tasks_reexecuted=self.tasks_reexecuted,
         )
         snap.copy_count = defaultdict(int, self.copy_count)
         snap.copy_bytes = defaultdict(int, self.copy_bytes)
         snap.task_counts = defaultdict(int, self.task_counts)
+        snap.faults_injected = defaultdict(int, self.faults_injected)
         return snap
 
     def since(self, snap: "Profiler") -> "Profiler":
@@ -164,6 +239,19 @@ class Profiler:
             launch_overhead_seconds=(
                 self.launch_overhead_seconds - snap.launch_overhead_seconds
             ),
+            retries=self.retries - snap.retries,
+            backoff_seconds=self.backoff_seconds - snap.backoff_seconds,
+            evictions=self.evictions - snap.evictions,
+            eviction_bytes=self.eviction_bytes - snap.eviction_bytes,
+            spills=self.spills - snap.spills,
+            spill_bytes=self.spill_bytes - snap.spill_bytes,
+            checkpoints=self.checkpoints - snap.checkpoints,
+            checkpoint_bytes=self.checkpoint_bytes - snap.checkpoint_bytes,
+            tasks_reexecuted=self.tasks_reexecuted - snap.tasks_reexecuted,
+        )
+        keys = set(self.faults_injected) | set(snap.faults_injected)
+        delta.faults_injected = defaultdict(
+            int, {k: self.faults_injected[k] - snap.faults_injected[k] for k in keys}
         )
         keys = set(self.copy_count) | set(snap.copy_count)
         delta.copy_count = defaultdict(

@@ -39,9 +39,11 @@ from repro.analysis.sanitizer import poison as _poison
 from repro.analysis.sanitizer import readonly_view as _readonly_view
 from repro.geometry import Rect
 from repro.legion import fusion
+from repro.legion.chaos import ChaosConfig, ChaosInjector, chaos_default
 from repro.legion.coherence import RegionCoherence
+from repro.legion.exceptions import FaultError, OutOfMemoryError
 from repro.legion.future import Future
-from repro.legion.instance import InstanceManager
+from repro.legion.instance import Instance, InstanceManager
 from repro.legion.partition import Partition, Replicate, Tiling
 from repro.legion.privilege import Privilege
 from repro.legion.profiler import Profiler
@@ -118,6 +120,16 @@ class RuntimeConfig:
     # never stale.  Off by default — the hot path then carries only a
     # handful of ``is not None`` checks.  Defaults from REPRO_VALIDATE.
     validate: bool = field(default_factory=_validation_default)
+    # Graceful OOM degradation: before raising OutOfMemoryError, evict
+    # LRU clean instances (valid elsewhere per coherence) and spill
+    # dirty pieces to system memory over the modeled channels.  On for
+    # Legate — real Legion mappers fall back this way — off for the
+    # comparison systems and under harness.config.paper_legate, whose
+    # Fig. 11/12 OOM outcomes are the published result.
+    spill: bool = True
+    # Deterministic fault injection (repro.legion.chaos): None means no
+    # injection; defaults from the REPRO_CHAOS environment variable.
+    chaos: Optional[ChaosConfig] = field(default_factory=chaos_default)
 
     @property
     def effective_comm_scale(self) -> float:
@@ -144,6 +156,7 @@ class RuntimeConfig:
             sddmm_inefficiency=5.0,
             memory_pressure_slowdown=6.0,
             fusion=False,
+            spill=False,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -161,6 +174,7 @@ class RuntimeConfig:
             reserved_fb_bytes=0,
             local_reshape_penalty=False,
             fusion=False,
+            spill=False,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -179,6 +193,7 @@ class RuntimeConfig:
             reserved_fb_bytes=int(0.4 * 2**30),
             local_reshape_penalty=False,
             fusion=False,
+            spill=False,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -235,6 +250,28 @@ class Runtime:
             m for m in self.machine.memories if m.kind == MemoryKind.SYSMEM
         )
         self._rng = np.random.default_rng(0x5EED)
+        # Resilience (repro.legion.chaos): the injector draws the fault
+        # schedule; the journal holds every launch executed since the
+        # last checkpoint epoch so a node loss can be recovered by
+        # replay.  Journaling only runs when a loss is scheduled — the
+        # fault-free hot path pays a single None check.
+        self._chaos = (
+            ChaosInjector(self.config.chaos)
+            if self.config.chaos is not None
+            else None
+        )
+        self._journaling = (
+            self._chaos is not None and self.config.chaos.has_losses
+        )
+        self._journal: List[TaskLaunch] = []
+        # Regions freed since the last checkpoint: journal replay must
+        # skip their requirements (coherence and instances are gone).
+        self._freed_uids: set = set()
+        self._in_recovery = False
+        self._launches_since_ckpt = 0
+        # Region metadata the spill/checkpoint paths need after mapping
+        # (uid -> (name, itemsize)); dropped on free.
+        self._region_meta: Dict[int, Tuple[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Region management
@@ -250,6 +287,7 @@ class Runtime:
         region = Region(shape, dtype, data=data, name=name, runtime=self)
         coh = RegionCoherence()
         self._coherence[region.uid] = coh
+        self._region_meta[region.uid] = (region.name, region.itemsize)
         if data is not None and region.rect.volume() > 0:
             # Attached host data: valid in node-0 system memory.  No
             # instance is charged — attach semantics: the host copy is a
@@ -279,6 +317,8 @@ class Runtime:
         has its instance recycling deferred until after the next flush
         (the launch holds the region's backing array alive, so numerics
         are unaffected)."""
+        if self._journaling:
+            self._freed_uids.add(region.uid)
         if any(
             req.region.uid == region.uid
             for task in self._window
@@ -287,6 +327,7 @@ class Runtime:
             self._deferred_frees.append(region.uid)
         else:
             self._coherence.pop(region.uid, None)
+            self._region_meta.pop(region.uid, None)
             self.instances.free_region(region.uid)
         if self.plan_trace is not None:
             self.plan_trace.record_free(region.uid)
@@ -331,12 +372,43 @@ class Runtime:
     # Copies
     # ------------------------------------------------------------------
     def _copy(self, src: Memory, dst: Memory, nbytes: int, ready: float) -> float:
-        """Schedule a copy between memories; returns its finish time."""
+        """Schedule a copy between memories; returns its finish time.
+
+        Under chaos injection a copy attempt may hit a transient link
+        error: the doomed attempt still occupies the channels, then the
+        runtime backs off exponentially (on the simulated clock) and
+        retries, up to ``ChaosConfig.max_retries`` — after which the
+        fault is deemed permanent and raises :class:`FaultError`.
+        Numerics are untouched: only modeled time is lost.
+        """
         nbytes = int(nbytes * self.config.effective_comm_scale)
         channels = self.machine.channels_between(src, dst)
         start = max([ready] + [c.busy_until for c in channels])
         latency = sum(c.latency for c in channels)
         bandwidth = min(c.bandwidth for c in channels)
+        chaos = self._chaos
+        if chaos is not None:
+            attempt = 0
+            while chaos.copy_fault():
+                attempt += 1
+                self.profiler.record_fault("copy")
+                if self.event_log is not None:
+                    self.event_log.record_fault(
+                        "copy", detail=f"attempt {attempt}"
+                    )
+                if attempt > chaos.config.max_retries:
+                    raise FaultError(
+                        f"copy of {nbytes} bytes ({src.kind.value}[{src.uid}]"
+                        f" -> {dst.kind.value}[{dst.uid}]) still failing "
+                        f"after {attempt - 1} retries"
+                    )
+                # The failed attempt held the wire; back off, retry.
+                failed = start + latency + nbytes / bandwidth
+                pause = chaos.backoff(attempt)
+                self.profiler.record_retry(pause)
+                for chan in channels:
+                    chan.busy_until = max(chan.busy_until, failed)
+                start = failed + pause
         finish = start + latency + nbytes / bandwidth
         for chan in channels:
             chan.busy_until = finish
@@ -365,6 +437,16 @@ class Runtime:
         host reads of store data, non-fusible launches (whose solve may
         read region data for image partitions) — flushes first.
         """
+        chaos = self._chaos
+        if (
+            chaos is not None
+            and chaos.config.checkpoint_every > 0
+            and not self._in_recovery
+        ):
+            self._launches_since_ckpt += 1
+            if self._launches_since_ckpt >= chaos.config.checkpoint_every:
+                self._launches_since_ckpt = 0
+                self.checkpoint()
         if (
             not self.config.fusion
             or task.reduction is not None
@@ -390,6 +472,7 @@ class Runtime:
             # abandoned) window: recycle their instances.
             for uid in frees:
                 self._coherence.pop(uid, None)
+                self._region_meta.pop(uid, None)
                 self.instances.free_region(uid)
 
     def _flush(self, window: List[TaskLaunch]) -> None:
@@ -423,8 +506,21 @@ class Runtime:
             self.plan_trace.record_note("sync", why=why)
         self.flush_window()
 
-    def _execute(self, task: TaskLaunch) -> Optional[Future]:
-        """Execute a task launch: map, copy, run, time (see module docs)."""
+    def _execute(self, task: TaskLaunch, replay: bool = False) -> Optional[Future]:
+        """Execute a task launch: map, copy, run, time (see module docs).
+
+        With ``replay=True`` (journal replay after a loss) the task is
+        re-mapped, re-staged and re-timed but its *kernel is skipped*:
+        numerics never depend on placement, so the backing arrays
+        already hold the exact results and replay restores only
+        coherence/placement state — which is why a recovered run is
+        bitwise-identical to a fault-free one by construction.
+        """
+        chaos = self._chaos
+        if chaos is not None and not replay and not self._in_recovery:
+            due = chaos.take_losses(self.issue_time)
+            if due:
+                self._recover(due)
         colors = task.color_count
         procs = self.scope.processors
         self.profiler.record_task(task.name, colors)
@@ -462,7 +558,17 @@ class Runtime:
 
             arrays: Dict[str, np.ndarray] = {}
             rects: Dict[str, Rect] = {}
+            skipped: set = set()
             for req in task.requirements:
+                if replay and req.region.uid in self._freed_uids:
+                    # The region was freed after this journaled launch:
+                    # its coherence and instances are gone, and nothing
+                    # downstream can read it — skip it physically and
+                    # (below) in the event log.
+                    skipped.add(req.name)
+                    rects[req.name] = req.partition.rect(color)
+                    arrays[req.name] = req.region.data
+                    continue
                 rect = req.partition.rect(color)
                 data = req.region.data
                 if validate and not req.privilege.writes:
@@ -473,9 +579,10 @@ class Runtime:
                 rects[req.name] = rect
                 if rect.is_empty():
                     continue
-                if validate and req.privilege is Privilege.WRITE_DISCARD:
+                if validate and not replay and req.privilege is Privilege.WRITE_DISCARD:
                     # Discarded contents must never be observed: poison
                     # them so reads of undefined data propagate NaNs.
+                    # (Replay keeps the real results intact.)
                     _poison(req.region.data, rect)
                 if req.elide:
                     # Elided temporary (produced and consumed inside
@@ -483,9 +590,8 @@ class Runtime:
                     # staging.  Coherence is still marked on write so a
                     # read escaping the group stays correct.
                     continue
-                inst, resize_bytes, fresh = self.instances.ensure(
-                    memory, req.region.uid, rect, req.region.itemsize,
-                    scale=self._mem_scale(req.region),
+                inst, resize_bytes, fresh, t_input = self._map_instance(
+                    memory, req, rect, task, t_input
                 )
                 if resize_bytes:
                     self.profiler.record_resize(resize_bytes)
@@ -507,7 +613,7 @@ class Runtime:
                             t_input = self._intra_copy(memory, dup, t_input)
                     for piece in pieces:
                         t_input = self._stage_reads(
-                            req.region, memory, piece, t_input
+                            req.region, memory, piece, t_input, replay=replay
                         )
 
             ctx = ShardContext(
@@ -530,12 +636,15 @@ class Runtime:
             self._proc_busy[proc.uid] = finish
             self.profiler.record_event(task.name, start, finish)
 
-            partial = task.kernel(ctx)
-            if task.reduction is not None:
-                partials.append(partial)
-                partial_times.append(finish)
+            if not replay:
+                partial = task.kernel(ctx)
+                if task.reduction is not None:
+                    partials.append(partial)
+                    partial_times.append(finish)
 
             for req in task.requirements:
+                if req.name in skipped:
+                    continue
                 rect = rects[req.name]
                 if rect.is_empty() or not req.privilege.writes:
                     continue
@@ -559,8 +668,9 @@ class Runtime:
                             if req.privilege.reads else (),
                         )
                         for req in task.requirements
+                        if req.name not in skipped
                     ],
-                    start, finish,
+                    start, finish, replay=replay,
                 )
 
         for req in task.requirements:
@@ -569,14 +679,32 @@ class Runtime:
                     task, req, reduce_writes[req.name], colors, launch_id
                 )
 
+        if self._journaling:
+            self._journal.append(task)
         if task.reduction is not None:
+            if replay:
+                # Replay skips kernels, so there are no partials to
+                # reduce; the original future already carries the value.
+                return None
             return self.allreduce(partials, partial_times, op=task.reduction)
         return None
 
     def _stage_reads(
-        self, region: Region, memory: Memory, rect: Rect, t_input: float
+        self,
+        region: Region,
+        memory: Memory,
+        rect: Rect,
+        t_input: float,
+        replay: bool = False,
     ) -> float:
-        """Make ``rect`` of ``region`` valid in ``memory``; derive copies."""
+        """Make ``rect`` of ``region`` valid in ``memory``; derive copies.
+
+        During journal replay, pieces valid nowhere are skipped without
+        complaint: the original execution already consumed them, and a
+        value overwritten after the last checkpoint may legitimately no
+        longer exist anywhere (kernels are skipped, so nothing actually
+        reads the missing bytes).
+        """
         coh = self.coherence(region)
         t_input = max(t_input, coh.ready_time(memory.uid, rect))
         missing = coh.missing(memory.uid, rect)
@@ -592,7 +720,7 @@ class Runtime:
                     )
                 coh.mark_valid(memory.uid, frag, finish)
                 t_input = max(t_input, finish)
-        if self.config.validate:
+        if self.config.validate and not replay:
             # Online stale-read assertion: after staging, every piece of
             # the rect that was ever written must be valid here.
             bad = coh.stale(memory.uid, rect)
@@ -603,6 +731,247 @@ class Runtime:
                     f"{memory.uid}"
                 )
         return t_input
+
+    def _map_instance(
+        self,
+        memory: Memory,
+        req: Requirement,
+        rect: Rect,
+        task: TaskLaunch,
+        t_input: float,
+    ) -> Tuple[Instance, int, bool, float]:
+        """Find-or-create the shard's instance, resiliently.
+
+        Transient allocation faults (chaos) retry with exponential
+        backoff on the simulated clock.  On :class:`OutOfMemoryError`
+        with spilling enabled, the runtime relieves pressure (drain the
+        recycled pool, evict clean LRU instances, spill dirty pieces to
+        system memory over the modeled channels) and retries; when
+        relief frees nothing, the annotated error propagates.
+        """
+        chaos = self._chaos
+        attempt = 0
+        while True:
+            if chaos is not None and chaos.alloc_fault():
+                attempt += 1
+                self.profiler.record_fault("alloc")
+                if self.event_log is not None:
+                    self.event_log.record_fault(
+                        "alloc", detail=f"task {task.name!r} attempt {attempt}"
+                    )
+                if attempt > chaos.config.max_retries:
+                    raise FaultError(
+                        f"allocation for task {task.name!r} in "
+                        f"{memory.kind.value}[{memory.uid}] still failing "
+                        f"after {attempt - 1} retries"
+                    )
+                pause = chaos.backoff(attempt)
+                self.profiler.record_retry(pause)
+                t_input += pause
+                continue
+            try:
+                inst, resize_bytes, fresh = self.instances.ensure(
+                    memory, req.region.uid, rect, req.region.itemsize,
+                    scale=self._mem_scale(req.region),
+                )
+                return inst, resize_bytes, fresh, t_input
+            except OutOfMemoryError as exc:
+                if not self.config.spill:
+                    raise exc.annotate(
+                        region_name=req.region.name, task=task.name
+                    ) from None
+                pinned = {r.region.uid for r in task.requirements}
+                t_relief, freed = self._relieve_pressure(
+                    memory, exc.requested, t_input, pinned
+                )
+                if freed <= 0:
+                    # Nothing left to evict or spill: a genuine OOM.
+                    raise exc.annotate(
+                        region_name=req.region.name, task=task.name
+                    ) from None
+                t_input = max(t_input, t_relief)
+
+    def _relieve_pressure(
+        self,
+        memory: Memory,
+        need_scaled: float,
+        now: float,
+        pinned: set,
+    ) -> Tuple[float, float]:
+        """Free capacity in ``memory`` for a ``need_scaled``-byte charge.
+
+        Three escalating steps, stopping as soon as enough is free:
+
+        1. drain the recycled-allocation pool (deferred collection);
+        2. evict least-recently-used *clean* instances — pieces whose
+           written data is fully valid in some other memory can simply
+           be dropped (re-reads restage them);
+        3. spill *dirty* pieces (only valid copy lives here, per
+           :meth:`RegionCoherence.only_copy`) to system memory over the
+           modeled channels, charging the copy time, then drop.
+
+        Instances of regions in ``pinned`` (the task being mapped) are
+        never touched.  Returns ``(ready_time, scaled_bytes_freed)``;
+        zero freed means the caller's OOM is genuine.
+        """
+        st = self.instances.state(memory)
+        before = st.available
+        st.drain_pool()
+        freed = max(0.0, st.available - before)
+        t = now
+        host = self._host_memory
+        # Pass 1: drop clean LRU instances.
+        if st.available < need_scaled:
+            for inst in st.lru_instances():
+                if st.available >= need_scaled:
+                    break
+                if inst.region_uid in pinned:
+                    continue
+                coh = self._coherence.get(inst.region_uid)
+                if coh is None:
+                    continue
+                if not coh.only_copy(memory.uid, inst.rect).is_empty():
+                    continue  # dirty: needs a spill, not a drop
+                nbytes = st.drop_instance(inst)
+                coh.invalidate(memory.uid, inst.rect)
+                self.profiler.record_eviction(nbytes)
+                freed += nbytes
+        # Pass 2: spill dirty instances to host system memory.
+        if st.available < need_scaled and memory.uid != host.uid:
+            for inst in st.lru_instances():
+                if st.available >= need_scaled:
+                    break
+                if inst.region_uid in pinned:
+                    continue
+                coh = self._coherence.get(inst.region_uid)
+                if coh is None:
+                    continue
+                name, itemsize = self._region_meta.get(
+                    inst.region_uid, ("", inst.itemsize)
+                )
+                for rect in coh.only_copy(memory.uid, inst.rect).rects():
+                    nbytes = rect.volume() * itemsize
+                    finish = self._copy(
+                        memory, host, nbytes,
+                        max(t, coh.ready_time(memory.uid, rect)),
+                    )
+                    if self.event_log is not None:
+                        self.event_log.record_copy(
+                            inst.region_uid, name, rect,
+                            memory.uid, host.uid, nbytes, why="spill",
+                        )
+                    coh.mark_valid(host.uid, rect, finish)
+                    self.profiler.record_spill(
+                        int(nbytes * self.config.effective_comm_scale)
+                    )
+                    t = max(t, finish)
+                freed += st.drop_instance(inst)
+                coh.invalidate(memory.uid, inst.rect)
+        return t, freed
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery (repro.legion.chaos)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Open a new checkpoint epoch: snapshot dirty data to sysmem.
+
+        Every written piece not already valid in node-0 system memory
+        is copied there over the modeled channels (attach semantics: no
+        sysmem instance is charged, like the host staging fiction in
+        :meth:`create_region`).  The journal then resets — a subsequent
+        loss replays only tasks launched after this epoch.  Returns the
+        scaled snapshot bytes.
+        """
+        self._sync("checkpoint")
+        host = self._host_memory
+        total = 0
+        nregions = 0
+        t_done = self.issue_time
+        for uid, coh in self._coherence.items():
+            need = coh.written.subtract(coh.valid_set(host.uid))
+            if need.is_empty():
+                continue
+            name, itemsize = self._region_meta.get(uid, ("", 8))
+            copied = False
+            for rect in need.rects():
+                for src_uid, frag, t_src in coh.find_source(
+                    rect, exclude=host.uid
+                ):
+                    nbytes = frag.volume() * itemsize
+                    finish = self._copy(
+                        self._memory_by_uid(src_uid), host, nbytes,
+                        max(self.issue_time, t_src),
+                    )
+                    if self.event_log is not None:
+                        self.event_log.record_copy(
+                            uid, name, frag, src_uid, host.uid,
+                            nbytes, why="checkpoint",
+                        )
+                    coh.mark_valid(host.uid, frag, finish)
+                    total += int(nbytes * self.config.effective_comm_scale)
+                    t_done = max(t_done, finish)
+                    copied = True
+            if copied:
+                nregions += 1
+        # A checkpoint is a blocking epoch boundary.
+        self.issue_time = max(self.issue_time, t_done)
+        self.profiler.record_checkpoint(total)
+        if self.event_log is not None:
+            self.event_log.record_checkpoint(total, nregions)
+        self._journal.clear()
+        self._freed_uids.clear()
+        return total
+
+    def _recover(self, losses) -> None:
+        """Recover from delivered GPU/node losses by journal replay.
+
+        The lost memories' instances and coherence validity are wiped
+        (data elsewhere — including the sysmem checkpoint — survives),
+        a recovery delay is charged, and every task journaled since the
+        last checkpoint epoch re-executes in replay mode: re-mapping,
+        re-staging and re-timing without re-running kernels, so the
+        final answer is bitwise-identical to a fault-free run.
+        """
+        assert self._chaos is not None
+        lost: List[int] = []
+        for loss in losses:
+            if loss.kind == "gpu":
+                procs = self.scope.processors
+                proc = procs[loss.target % len(procs)]
+                mems = [proc.memory]
+            else:
+                mems = [
+                    m for m in self.machine.memories if m.node == loss.target
+                ]
+            kind = f"{loss.kind}-loss"
+            self.profiler.record_fault(kind)
+            uids = [m.uid for m in mems]
+            lost.extend(uids)
+            if self.event_log is not None:
+                self.event_log.record_fault(
+                    kind, uids,
+                    detail=f"target={loss.target} at t={loss.at_time:g}",
+                )
+        if self._host_memory.uid in lost:
+            raise FaultError(
+                "node-0 system memory (the checkpoint store) was lost; "
+                "recovery is impossible"
+            )
+        for uid in set(lost):
+            self.instances.lose_memory(uid)
+            for coh in self._coherence.values():
+                coh.invalidate(uid)
+        self.issue_time += self._chaos.config.recovery_delay * len(losses)
+        for puid in self._proc_busy:
+            self._proc_busy[puid] = max(self._proc_busy[puid], self.issue_time)
+        journal, self._journal = self._journal, []
+        self._in_recovery = True
+        try:
+            for task in journal:
+                self.profiler.record_reexecution()
+                self._execute(task, replay=True)
+        finally:
+            self._in_recovery = False
 
     def _fold_reduction(
         self,

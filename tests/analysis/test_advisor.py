@@ -81,6 +81,63 @@ def test_capacity_overflow_is_error():
     assert advice.errors
 
 
+def test_spill_downgrades_capacity_to_warning():
+    """With config.spill, relievable overflow becomes spill traffic."""
+
+    def workload():
+        import repro.numeric as rnp
+
+        n = 100_000
+        arrays = [rnp.full(n, float(i)) for i in range(8)]
+        total = rnp.zeros(n)
+        for a in arrays:
+            total = total + a
+        return total
+
+    def run(spill):
+        return advise(
+            workload,
+            machine=laptop(),
+            procs=2,
+            config=RuntimeConfig.legate(data_scale=40.0, spill=spill),
+        )
+
+    degraded = run(spill=True)
+    spills = [f for f in degraded.findings if f.rule == "spill"]
+    assert spills and all(f.severity == "warning" for f in spills)
+    assert "evicts/spills an estimated" in spills[0].message
+    assert "capacity" not in rules(degraded)
+    assert not degraded.errors
+
+    hard = run(spill=False)
+    assert any(
+        f.rule == "capacity" and f.severity == "error" for f in hard.findings
+    )
+    assert "config.spill would degrade" in next(
+        f.message for f in hard.findings if f.rule == "capacity"
+    )
+
+
+def test_spill_cannot_relieve_single_oversized_region():
+    """A region bigger than the whole budget stays a hard error."""
+
+    def workload():
+        import repro.numeric as rnp
+
+        return rnp.ones(100_000)
+
+    advice = advise(
+        workload,
+        machine=laptop(),
+        procs=2,
+        config=RuntimeConfig.legate(data_scale=1e5),  # 80 GB on a 64 MB FB
+    )
+    assert any(
+        f.rule == "capacity" and f.severity == "error"
+        for f in advice.findings
+    )
+
+
 def test_dead_write_detected():
     def workload():
         import repro.numeric as rnp

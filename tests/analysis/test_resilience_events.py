@@ -1,0 +1,123 @@
+"""Fault/checkpoint events: serialization + checker semantics."""
+
+from repro.analysis.checker import check_log
+from repro.analysis.events import (
+    CheckpointEvent,
+    EventLog,
+    FaultEvent,
+    ReqAccess,
+    ShardEvent,
+)
+from repro.geometry import Rect
+
+RECT = Rect((0,), (8,))
+
+
+def _write(log, launch, memory, replay=False):
+    log.record_shard(
+        launch, "writer", 0, 0, memory,
+        [ReqAccess("v", 1, "v", RECT, "write-discard")],
+        0.0, 1.0, replay=replay,
+    )
+
+
+def _read(log, launch, memory, replay=False):
+    log.record_shard(
+        launch, "reader", 0, 0, memory,
+        [ReqAccess("v", 1, "v", RECT, "read")],
+        1.0, 2.0, replay=replay,
+    )
+
+
+class TestSerialization:
+    def test_fault_checkpoint_replay_roundtrip(self, tmp_path):
+        log = EventLog(name="resilience")
+        w = log.record_task("writer", 1)
+        _write(log, w, memory=4)
+        log.record_fault("copy", detail="transient link error, retry 1")
+        log.record_checkpoint(1024, 2)
+        log.record_fault("gpu-loss", memories=(4, 6), detail="target=1")
+        r = log.record_task("writer", 1)
+        _write(log, r, memory=4, replay=True)
+        path = str(tmp_path / "run.jsonl")
+        log.save(path)
+        loaded = EventLog.load(path)
+        assert loaded.events == log.events
+        faults = [e for e in loaded.events if isinstance(e, FaultEvent)]
+        assert faults[0].fault == "copy" and faults[0].memories == ()
+        assert faults[1].memories == (4, 6)
+        ckpt = next(e for e in loaded.events if isinstance(e, CheckpointEvent))
+        assert (ckpt.nbytes, ckpt.regions) == (1024, 2)
+        shards = [e for e in loaded.events if isinstance(e, ShardEvent)]
+        assert [s.replay for s in shards] == [False, True]
+
+
+class TestCheckerSemantics:
+    def test_loss_without_replay_is_stale(self):
+        log = EventLog(name="loss")
+        w = log.record_task("writer", 1)
+        _write(log, w, memory=4)
+        log.record_fault("gpu-loss", memories=(4,))
+        r = log.record_task("reader", 1)
+        _read(log, r, memory=4)
+        violations = check_log(log)
+        assert any(v.kind == "stale-read" for v in violations)
+
+    def test_replayed_write_reestablishes_validity(self):
+        log = EventLog(name="recovered")
+        w = log.record_task("writer", 1)
+        _write(log, w, memory=4)
+        log.record_fault("gpu-loss", memories=(4,))
+        rw = log.record_task("writer", 1)
+        _write(log, rw, memory=4, replay=True)
+        r = log.record_task("reader", 1)
+        _read(log, r, memory=4)
+        assert check_log(log) == []
+
+    def test_replay_shard_exempt_from_stale_reads(self):
+        """A replayed read-modify-write consumed its input pre-fault; the
+        bytes may no longer exist anywhere and that is still legal."""
+        log = EventLog(name="rmw-replay")
+        w = log.record_task("writer", 1)
+        _write(log, w, memory=4)
+        log.record_fault("gpu-loss", memories=(4,))
+        rmw = log.record_task("rmw", 1)
+        log.record_shard(
+            rmw, "rmw", 0, 0, 4,
+            [ReqAccess("v", 1, "v", RECT, "write")],
+            2.0, 3.0, replay=True,
+        )
+        assert check_log(log) == []
+        # The same access NOT marked replay is a stale read.
+        log2 = EventLog(name="rmw-fresh")
+        w = log2.record_task("writer", 1)
+        _write(log2, w, memory=4)
+        log2.record_fault("gpu-loss", memories=(4,))
+        rmw = log2.record_task("rmw", 1)
+        log2.record_shard(
+            rmw, "rmw", 0, 0, 4,
+            [ReqAccess("v", 1, "v", RECT, "write")],
+            2.0, 3.0,
+        )
+        assert any(v.kind == "stale-read" for v in check_log(log2))
+
+    def test_spill_and_checkpoint_copies_establish_validity(self):
+        for why in ("spill", "checkpoint"):
+            log = EventLog(name=why)
+            w = log.record_task("writer", 1)
+            _write(log, w, memory=4)
+            log.record_copy(1, "v", RECT, 4, 0, 64, why=why)
+            log.record_fault("gpu-loss", memories=(4,))
+            log.record_copy(1, "v", RECT, 0, 4, 64)  # stage back in
+            r = log.record_task("reader", 1)
+            _read(log, r, memory=4)
+            assert check_log(log) == [], why
+
+    def test_fold_copies_still_establish_nothing(self):
+        log = EventLog(name="fold")
+        w = log.record_task("writer", 1)
+        _write(log, w, memory=4)
+        log.record_copy(1, "v", RECT, 4, 0, 64, why="fold")
+        r = log.record_task("reader", 1)
+        _read(log, r, memory=0)
+        assert any(v.kind == "stale-read" for v in check_log(log))

@@ -1,0 +1,53 @@
+"""Chaos bench harness: acceptance bars hold on a reduced workload."""
+
+from repro.harness import chaos_bench
+from repro.harness.chaos_bench import _compare, _measure, _scenarios
+from repro.legion.chaos import ChaosConfig, LossSchedule
+from repro.machine import summit
+
+GRID = 16
+ITERS = 4
+
+
+def _small(chaos):
+    return _measure(summit(nodes=1), 2, chaos, grid=GRID, iters=ITERS)
+
+
+def test_baseline_is_clean():
+    base = _small(None)
+    assert base["faults_injected"] == {}
+    assert base["checker_violations"] == []
+    assert base["modeled_time_s"] > 0
+
+
+def test_transient_copy_scenario_matches_baseline():
+    base = _small(None)
+    run = _compare(base, _small(ChaosConfig(seed=7, copy_fault_rate=0.05)))
+    assert run["faults_injected"].get("copy", 0) > 0
+    assert run["bitwise_identical"]
+    assert run["checker_clean"]
+    assert run["overhead_ratio"] <= chaos_bench.MAX_OVERHEAD_RATIO
+
+
+def test_gpu_loss_scenario_recovers():
+    base = _small(None)
+    t_mid = (base["t_solve_start"] + base["t_solve_end"]) / 2
+    chaos = ChaosConfig(
+        seed=7,
+        checkpoint_every=16,
+        losses=(LossSchedule("gpu", 1, t_mid),),
+    )
+    run = _compare(base, _small(chaos))
+    assert run["faults_injected"].get("gpu-loss", 0) == 1
+    assert run["checkpoints"] > 0
+    assert run["tasks_reexecuted"] > 0
+    assert run["bitwise_identical"]
+    assert run["checker_clean"]
+
+
+def test_scenarios_anchor_loss_to_solve_window():
+    schedules = _scenarios((1.0, 3.0))
+    loss = schedules["gpu_loss"].losses[0]
+    assert loss.kind == "gpu" and loss.at_time == 2.0
+    assert schedules["transient_copy"].copy_fault_rate > 0
+    assert schedules["alloc_flaky"].alloc_fault_rate > 0

@@ -1,0 +1,169 @@
+"""Chaos injection + recovery: determinism, retry, loss replay."""
+
+import numpy as np
+import pytest
+
+import repro.numeric as rnp
+import repro.sparse as sp
+from repro.apps.poisson import poisson2d_scipy
+from repro.legion import FaultError, Runtime, RuntimeConfig
+from repro.legion.chaos import ChaosConfig, ChaosInjector, LossSchedule, chaos_default
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, summit
+
+GRID = 16
+ITERS = 4
+
+
+def _cg_run(chaos, procs=2, nodes=1):
+    """One small CG solve under a chaos config; returns (x, rt, t0, t1)."""
+    machine = summit(nodes=nodes)
+    rt = Runtime(
+        machine.scope(ProcessorKind.GPU, procs, per_node=min(procs, 2)),
+        RuntimeConfig.legate(chaos=chaos),
+    )
+    with runtime_scope(rt):
+        A = sp.csr_matrix(poisson2d_scipy(GRID))
+        b = rnp.ones(GRID * GRID)
+        sp.linalg.cg(A, b, rtol=0.0, maxiter=1)  # warm-up
+        t0 = rt.barrier()
+        x, _ = sp.linalg.cg(A, b, rtol=0.0, maxiter=ITERS)
+        t1 = rt.barrier()
+        out = x.to_numpy().copy()
+    return out, rt, t0, t1
+
+
+class TestConfig:
+    def test_parse_full_spec(self):
+        cfg = ChaosConfig.parse(
+            "seed:7, copy:0.02, alloc:0.01, retries:3, backoff:1e-5,"
+            "ckpt:32, lose-gpu:1@0.004, lose-node:2@0.01"
+        )
+        assert cfg.seed == 7
+        assert cfg.copy_fault_rate == 0.02
+        assert cfg.alloc_fault_rate == 0.01
+        assert cfg.max_retries == 3
+        assert cfg.backoff_base == 1e-5
+        assert cfg.checkpoint_every == 32
+        assert cfg.losses == (
+            LossSchedule("gpu", 1, 0.004),
+            LossSchedule("node", 2, 0.01),
+        )
+        assert cfg.has_losses
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["bogus", "copy:2.0", "retries:0", "lose-gpu:1", "lose-disk:0@1"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            ChaosConfig.parse(spec)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert chaos_default() is None
+        monkeypatch.setenv("REPRO_CHAOS", "seed:3,copy:0.1")
+        cfg = chaos_default()
+        assert cfg is not None and cfg.seed == 3 and cfg.copy_fault_rate == 0.1
+        monkeypatch.setenv("REPRO_CHAOS", "0")
+        assert chaos_default() is None
+
+    def test_injector_deterministic(self):
+        cfg = ChaosConfig(seed=11, copy_fault_rate=0.3, alloc_fault_rate=0.2)
+        a, b = ChaosInjector(cfg), ChaosInjector(cfg)
+        draws_a = [(a.copy_fault(), a.alloc_fault()) for _ in range(200)]
+        draws_b = [(b.copy_fault(), b.alloc_fault()) for _ in range(200)]
+        assert draws_a == draws_b
+        assert a.faults_injected == b.faults_injected > 0
+
+    def test_losses_delivered_in_time_order(self):
+        cfg = ChaosConfig(
+            losses=(LossSchedule("gpu", 0, 2.0), LossSchedule("gpu", 1, 1.0))
+        )
+        inj = ChaosInjector(cfg)
+        assert inj.take_losses(0.5) == []
+        assert [l.target for l in inj.take_losses(1.5)] == [1]
+        assert [l.target for l in inj.take_losses(5.0)] == [0]
+        assert inj.pending_losses == ()
+
+
+class TestTransientFaults:
+    def test_copy_faults_bitwise_identical(self):
+        baseline, _, _, _ = _cg_run(None)
+        chaos = ChaosConfig(seed=7, copy_fault_rate=0.05)
+        faulty, rt, _, _ = _cg_run(chaos)
+        np.testing.assert_array_equal(baseline, faulty)
+        assert rt.profiler.retries == sum(rt.profiler.faults_injected.values())
+
+    def test_alloc_faults_bitwise_identical_and_charged(self):
+        baseline, _, t0, t1 = _cg_run(None)
+        chaos = ChaosConfig(seed=7, alloc_fault_rate=0.05)
+        faulty, rt, f0, f1 = _cg_run(chaos)
+        np.testing.assert_array_equal(baseline, faulty)
+        assert rt.profiler.faults_injected["alloc"] > 0
+        # Backoff is charged on the simulated clock.
+        assert rt.profiler.backoff_seconds > 0
+        assert f1 - f0 >= t1 - t0
+
+    def test_exhausted_retries_raise_fault_error(self):
+        chaos = ChaosConfig(seed=0, copy_fault_rate=0.99, max_retries=2)
+        with pytest.raises(FaultError):
+            _cg_run(chaos)
+
+
+class TestLossRecovery:
+    def test_gpu_loss_recovers_bitwise(self):
+        baseline, _, t0, t1 = _cg_run(None)
+        chaos = ChaosConfig(
+            checkpoint_every=16,
+            losses=(LossSchedule("gpu", 1, (t0 + t1) / 2),),
+        )
+        recovered, rt, _, _ = _cg_run(chaos)
+        np.testing.assert_array_equal(baseline, recovered)
+        assert rt.profiler.faults_injected["gpu-loss"] == 1
+        assert rt.profiler.checkpoints > 0
+        assert rt.profiler.tasks_reexecuted > 0
+
+    def test_node_loss_recovers_bitwise(self):
+        baseline, _, t0, t1 = _cg_run(None, procs=2, nodes=2)
+        chaos = ChaosConfig(
+            checkpoint_every=16,
+            losses=(LossSchedule("node", 1, (t0 + t1) / 2),),
+        )
+        recovered, rt, _, _ = _cg_run(chaos, procs=2, nodes=2)
+        np.testing.assert_array_equal(baseline, recovered)
+        assert rt.profiler.faults_injected["node-loss"] == 1
+        assert rt.profiler.tasks_reexecuted > 0
+
+    def test_recovery_charges_delay(self):
+        _, _, t0, t1 = _cg_run(None)
+        chaos = ChaosConfig(
+            checkpoint_every=16,
+            recovery_delay=5e-3,
+            losses=(LossSchedule("gpu", 1, (t0 + t1) / 2),),
+        )
+        _, _, f0, f1 = _cg_run(chaos)
+        assert f1 - f0 >= (t1 - t0) + 5e-3
+
+    def test_losing_checkpoint_store_is_fatal(self):
+        _, _, t0, t1 = _cg_run(None)
+        chaos = ChaosConfig(
+            checkpoint_every=16,
+            losses=(LossSchedule("node", 0, (t0 + t1) / 2),),
+        )
+        with pytest.raises(FaultError, match="checkpoint store"):
+            _cg_run(chaos)
+
+    def test_denser_checkpoints_shorten_replay(self):
+        """The journal resets each epoch: more checkpoints, less replay."""
+        _, _, t0, t1 = _cg_run(None)
+        t_mid = (t0 + t1) / 2
+        reexec = {}
+        for every in (12, 24):
+            chaos = ChaosConfig(
+                checkpoint_every=every,
+                losses=(LossSchedule("gpu", 1, t_mid),),
+            )
+            _, rt, _, _ = _cg_run(chaos)
+            reexec[every] = rt.profiler.tasks_reexecuted
+        assert 0 < reexec[12] < reexec[24]
