@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test validate check lint advise bench chaos
+.PHONY: test validate check lint advise bench chaos profile
 
 test:
 	python -m pytest -x -q
@@ -34,3 +34,15 @@ bench:
 # the fault-free baseline, checker-clean and within bounded overhead.
 chaos:
 	python scripts/chaos.py
+
+# Timeline profiling: fig9 CG + fig10 GMG with span recording on.
+# Writes Chrome traces (open in chrome://tracing or ui.perfetto.dev)
+# and native span logs under artifacts/, then prints the offline
+# utilization/critical-path analysis of the CG trace.
+profile:
+	mkdir -p artifacts
+	python -m repro.harness.experiments.fig9_cg \
+	    --profile artifacts/fig9_cg.trace.json
+	python -m repro.harness.experiments.fig10_gmg \
+	    --profile artifacts/fig10_gmg.trace.json
+	python -m repro.analysis profile artifacts/fig9_cg.spans.json

@@ -36,6 +36,27 @@ python scripts/bench.py --output BENCH_fusion.json > /dev/null
 echo "== chaos bench smoke (fault schedules vs baseline, writes BENCH_chaos.json) =="
 python scripts/chaos.py --output BENCH_chaos.json > /dev/null
 
+echo "== profile smoke (fig9 CG under REPRO_PROFILE=1, trace artifacts) =="
+mkdir -p artifacts
+REPRO_PROFILE=1 python -m repro.harness.experiments.fig9_cg \
+    --columns 2 --profile artifacts/fig9_cg.trace.json > /dev/null
+# The exported Chrome trace must be well-formed JSON in the trace-event
+# format, and the span log must round-trip through the offline analyzer.
+python - <<'PYEOF'
+import json
+with open("artifacts/fig9_cg.trace.json") as fh:
+    trace = json.load(fh)
+events = trace["traceEvents"]
+assert events, "empty Chrome trace"
+assert all(e["ph"] in ("X", "M") for e in events), "unexpected phase"
+assert all(
+    "ts" in e and "dur" in e and e["dur"] >= 0
+    for e in events if e["ph"] == "X"
+), "malformed duration event"
+print(f"chrome trace OK: {len(events)} events")
+PYEOF
+python -m repro.analysis profile artifacts/fig9_cg.spans.json > /dev/null
+
 echo "== advisor smoke (static trace, no kernels) =="
 python -m repro.analysis advise examples/advisor_demo.py \
     --machine summit:4 -- --maxiter 2 > /dev/null

@@ -4,4 +4,9 @@ import sys
 
 from repro.analysis.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Output was piped into a pager/head that exited early; not an error.
+    sys.stderr.close()
+    sys.exit(0)

@@ -1,6 +1,6 @@
 """Command-line entry points for the analysis tooling.
 
-Two subcommands share ``python -m repro.analysis``:
+Three subcommands share ``python -m repro.analysis``:
 
 * ``python -m repro.analysis <run.jsonl>`` — the PR-1 checker: replay a
   recorded event log and report races, stale reads, invalid copies.
@@ -10,10 +10,16 @@ Two subcommands share ``python -m repro.analysis``:
   the requested machine, lint the plan, and print the report.  Exits 1
   when the lint battery finds errors (densification over threshold,
   capacity overflow, unsolvable constraints).
+* ``python -m repro.analysis profile <run.spans.json>`` — the timeline
+  analyzer: load a span log written by ``Timeline.save`` (see
+  ``RuntimeConfig.profile`` / ``REPRO_PROFILE`` and the harness
+  ``--profile`` flag), print per-resource utilization, gaps and the
+  critical path, and optionally re-export a Chrome/Perfetto trace.
 
-Logs are produced by running any program with ``RuntimeConfig``
+Event logs are produced by running any program with ``RuntimeConfig``
 ``validate=True`` (or ``REPRO_VALIDATE=1`` in the environment) and
-calling ``runtime.event_log.save(path)``.
+calling ``runtime.event_log.save(path)``; span logs by running with
+``profile=True`` (``REPRO_PROFILE=1``) and ``runtime.timeline.save(path)``.
 """
 
 from __future__ import annotations
@@ -86,6 +92,61 @@ def build_advise_parser() -> argparse.ArgumentParser:
         "(separate with -- to pass options through)",
     )
     return parser
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis profile",
+        description="Analyze a recorded timeline span log: per-resource "
+        "utilization and idle gaps, critical-path extraction, and "
+        "Chrome-trace/Perfetto export.",
+    )
+    parser.add_argument(
+        "tracefile", help="span log written by Timeline.save (see --profile)"
+    )
+    parser.add_argument(
+        "--chrome", metavar="OUT", default=None,
+        help="also write a Chrome/Perfetto trace JSON to OUT",
+    )
+    parser.add_argument(
+        "--critical-path", action="store_true",
+        help="print every step of the critical path",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="idle gaps to list in the summary (default 10)",
+    )
+    return parser
+
+
+def _profile_main(argv: List[str]) -> int:
+    args = build_profile_parser().parse_args(argv)
+    # Imported here, not at module top: repro.analysis sits below the
+    # runtime layers (see repro.analysis.__init__ on the cycle rule).
+    from repro.legion.timeline import Timeline
+
+    try:
+        timeline = Timeline.load(args.tracefile)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(
+            f"error: cannot read trace {args.tracefile!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chrome:
+        timeline.save_chrome_trace(args.chrome)
+        print(f"wrote Chrome trace: {args.chrome} ({len(timeline)} spans)")
+    print(timeline.format_ascii(top=args.top))
+    if args.critical_path:
+        path = timeline.critical_path()
+        print(f"critical path ({len(path.steps)} steps):")
+        for step in path.steps:
+            where = f" on {step.resource}" if step.resource else ""
+            print(
+                f"  [{step.start:.6f} -> {step.finish:.6f}] "
+                f"{step.kind}: {step.name}{where} ({step.duration:.6f}s)"
+            )
+    return 0
 
 
 def _check_main(argv: Optional[List[str]]) -> int:
@@ -166,10 +227,13 @@ def _advise_main(argv: List[str]) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Dispatch ``advise`` or the legacy checker; returns the exit code."""
+    """Dispatch ``advise``/``profile`` or the legacy checker; returns
+    the exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "advise":
         return _advise_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     return _check_main(argv)
 
 

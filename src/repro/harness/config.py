@@ -63,6 +63,54 @@ def paper_legate(**kwargs):
     return RuntimeConfig.legate(**kwargs)
 
 
+def spans_artifact_path(trace_path: str) -> str:
+    """The native span-log path written beside a Chrome trace.
+
+    ``fig9_cg.trace.json`` -> ``fig9_cg.spans.json``; anything else
+    gets ``.spans.json`` appended.
+    """
+    if trace_path.endswith(".trace.json"):
+        return trace_path[: -len(".trace.json")] + ".spans.json"
+    return trace_path + ".spans.json"
+
+
+def run_profiled(run_fn, trace_path: str, columns=None):
+    """Run a figure experiment with timeline profiling on; export traces.
+
+    Enables the process-wide profile default (the experiments build
+    their runtimes internally, so ``RuntimeConfig.profile`` picks it
+    up), runs ``run_fn``, then selects the largest-scope ``legate``
+    timeline from the registry and writes two artifacts:
+
+    * ``trace_path`` — Chrome/Perfetto trace JSON (open in
+      ``chrome://tracing`` or https://ui.perfetto.dev);
+    * the sibling :func:`spans_artifact_path` — the native span log for
+      ``python -m repro.analysis profile``.
+
+    Returns ``(figure_result, timeline)``.
+    """
+    import os
+
+    from repro.legion import timeline as tl_mod
+
+    tl_mod.drain_timelines()  # don't export stale runs
+    previous = tl_mod.set_profile_default(True)
+    try:
+        fig = run_fn(columns=columns)
+    finally:
+        tl_mod.set_profile_default(previous)
+    recorded = [t for t in tl_mod.drain_timelines() if t.name == "legate"]
+    if not recorded:
+        raise RuntimeError("profiled figure run recorded no legate timelines")
+    chosen = max(recorded, key=lambda t: (t.meta.get("procs", 0), len(t.spans)))
+    parent = os.path.dirname(trace_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    chosen.save_chrome_trace(trace_path)
+    chosen.save(spans_artifact_path(trace_path))
+    return fig, chosen
+
+
 def reduced_size(full_size: int, procs: int, per_proc_floor: int = 512, cap: int = 400_000) -> int:
     """Pick a host-RAM-friendly build size for a full-scale problem.
 

@@ -114,9 +114,11 @@ def run(machine: Optional[Machine] = None, columns=None) -> FigureResult:
     return fig
 
 
-def main():  # pragma: no cover - CLI entry
-    """CLI: print the regenerated table."""
-    print(run().format_table())
+def main(argv=None):  # pragma: no cover - CLI entry
+    """CLI: print the table; --profile exports timeline artifacts."""
+    from repro.harness.figures import figure_main
+
+    figure_main(run, "Regenerate Fig. 10 (GMG weak scaling).", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -108,3 +108,45 @@ class FigureResult:
         if va is None or vb is None or vb == 0:
             return None
         return va / vb
+
+
+def figure_main(run_fn, description: str, argv=None) -> None:
+    """Shared CLI for the figure experiments: table + optional profiling.
+
+    ``--columns N`` runs only the first N weak-scaling columns (quick
+    smokes); ``--profile PATH`` records a timeline of every modeled
+    activity and writes the Chrome trace to PATH, the native span log
+    beside it (see :func:`repro.harness.config.run_profiled`), and an
+    ASCII utilization/critical-path summary after the table.
+    ``REPRO_PROFILE=1`` in the environment also enables recording —
+    ``--profile`` is what additionally exports the artifacts.
+    """
+    import argparse
+
+    from repro.harness.config import (
+        WEAK_SCALING_COLUMNS,
+        run_profiled,
+        spans_artifact_path,
+    )
+
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--columns", type=int, default=None, metavar="N",
+        help="run only the first N weak-scaling columns",
+    )
+    parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="record a timeline; write the Chrome trace to PATH and the "
+        "native span log beside it",
+    )
+    args = parser.parse_args(argv)
+    columns = WEAK_SCALING_COLUMNS[: args.columns] if args.columns else None
+    if args.profile:
+        fig, timeline = run_profiled(run_fn, args.profile, columns=columns)
+        print(fig.format_table())
+        print()
+        print(timeline.format_ascii())
+        print(f"chrome trace: {args.profile}")
+        print(f"span log:     {spans_artifact_path(args.profile)}")
+    else:
+        print(run_fn(columns=columns).format_table())

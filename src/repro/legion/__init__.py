@@ -43,6 +43,7 @@ from repro.legion.runtime import (
     set_runtime,
 )
 from repro.legion.task import Pointwise, Requirement, ShardContext, TaskLaunch
+from repro.legion.timeline import Span, Timeline
 from repro.legion.tracing import Trace
 
 __all__ = [
@@ -65,8 +66,10 @@ __all__ = [
     "Runtime",
     "RuntimeConfig",
     "ShardContext",
+    "Span",
     "TaskLaunch",
     "Tiling",
+    "Timeline",
     "Trace",
     "get_runtime",
     "runtime_scope",

@@ -8,7 +8,7 @@ and the weak-scaling harness reads communication volumes out of them.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Tuple
 
 
@@ -142,6 +142,8 @@ class Profiler:
             f"({self.shards_executed} shards)",
             f"allreduces:       {self.allreduces}",
         ]
+        if self.fills:
+            lines.append(f"fills:            {self.fills}")
         if self.fused_tasks:
             lines.append(
                 f"fusion:           {self.fused_tasks} fused groups "
@@ -196,73 +198,49 @@ class Profiler:
         return "\n".join(lines)
 
     def snapshot(self) -> "Profiler":
-        """A frozen copy, for differencing across program phases."""
-        snap = Profiler(
-            tasks_launched=self.tasks_launched,
-            shards_executed=self.shards_executed,
-            fills=self.fills,
-            allreduces=self.allreduces,
-            resize_copies=self.resize_copies,
-            resize_bytes=self.resize_bytes,
-            fused_tasks=self.fused_tasks,
-            tasks_fused_away=self.tasks_fused_away,
-            regions_elided=self.regions_elided,
-            launch_overhead_seconds=self.launch_overhead_seconds,
-            retries=self.retries,
-            backoff_seconds=self.backoff_seconds,
-            evictions=self.evictions,
-            eviction_bytes=self.eviction_bytes,
-            spills=self.spills,
-            spill_bytes=self.spill_bytes,
-            checkpoints=self.checkpoints,
-            checkpoint_bytes=self.checkpoint_bytes,
-            tasks_reexecuted=self.tasks_reexecuted,
-        )
-        snap.copy_count = defaultdict(int, self.copy_count)
-        snap.copy_bytes = defaultdict(int, self.copy_bytes)
-        snap.task_counts = defaultdict(int, self.task_counts)
-        snap.faults_injected = defaultdict(int, self.faults_injected)
+        """A frozen copy, for differencing across program phases.
+
+        Fields are enumerated with :func:`dataclasses.fields`, so a
+        newly added counter is carried automatically (the drift-guard
+        test in ``tests/legion/test_profiler.py`` enforces this).
+        """
+        snap = Profiler()
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value = defaultdict(int, value)
+            elif isinstance(value, list):
+                value = list(value)
+            setattr(snap, f.name, value)
         return snap
 
     def since(self, snap: "Profiler") -> "Profiler":
-        """Counter deltas relative to an earlier :meth:`snapshot`."""
-        delta = Profiler(
-            tasks_launched=self.tasks_launched - snap.tasks_launched,
-            shards_executed=self.shards_executed - snap.shards_executed,
-            fills=self.fills - snap.fills,
-            allreduces=self.allreduces - snap.allreduces,
-            resize_copies=self.resize_copies - snap.resize_copies,
-            resize_bytes=self.resize_bytes - snap.resize_bytes,
-            fused_tasks=self.fused_tasks - snap.fused_tasks,
-            tasks_fused_away=self.tasks_fused_away - snap.tasks_fused_away,
-            regions_elided=self.regions_elided - snap.regions_elided,
-            launch_overhead_seconds=(
-                self.launch_overhead_seconds - snap.launch_overhead_seconds
-            ),
-            retries=self.retries - snap.retries,
-            backoff_seconds=self.backoff_seconds - snap.backoff_seconds,
-            evictions=self.evictions - snap.evictions,
-            eviction_bytes=self.eviction_bytes - snap.eviction_bytes,
-            spills=self.spills - snap.spills,
-            spill_bytes=self.spill_bytes - snap.spill_bytes,
-            checkpoints=self.checkpoints - snap.checkpoints,
-            checkpoint_bytes=self.checkpoint_bytes - snap.checkpoint_bytes,
-            tasks_reexecuted=self.tasks_reexecuted - snap.tasks_reexecuted,
-        )
-        keys = set(self.faults_injected) | set(snap.faults_injected)
-        delta.faults_injected = defaultdict(
-            int, {k: self.faults_injected[k] - snap.faults_injected[k] for k in keys}
-        )
-        keys = set(self.copy_count) | set(snap.copy_count)
-        delta.copy_count = defaultdict(
-            int, {k: self.copy_count[k] - snap.copy_count[k] for k in keys}
-        )
-        keys = set(self.copy_bytes) | set(snap.copy_bytes)
-        delta.copy_bytes = defaultdict(
-            int, {k: self.copy_bytes[k] - snap.copy_bytes[k] for k in keys}
-        )
-        keys = set(self.task_counts) | set(snap.task_counts)
-        delta.task_counts = defaultdict(
-            int, {k: self.task_counts[k] - snap.task_counts[k] for k in keys}
-        )
+        """Counter deltas relative to an earlier :meth:`snapshot`.
+
+        Numeric fields subtract; dict counters diff over the union of
+        their keys; the ``events`` list (and any future list field) is
+        the tail appended since the snapshot — events are append-only,
+        so phase differencing keeps the timeline instead of losing it.
+        Non-counter fields (``record_events``) copy the current value.
+        """
+        delta = Profiler()
+        for f in fields(self):
+            cur, old = getattr(self, f.name), getattr(snap, f.name)
+            if isinstance(cur, bool):  # bool is an int subclass: no delta
+                value = cur
+            elif isinstance(cur, (int, float)):
+                value = cur - old
+            elif isinstance(cur, dict):
+                keys = set(cur) | set(old)
+                value = defaultdict(
+                    int, {k: cur.get(k, 0) - old.get(k, 0) for k in keys}
+                )
+            elif isinstance(cur, list):
+                value = list(cur[len(old):])
+            else:
+                raise TypeError(
+                    f"Profiler.since: field {f.name!r} has undiffable "
+                    f"type {type(cur).__name__}"
+                )
+            setattr(delta, f.name, value)
         return delta

@@ -49,6 +49,9 @@ from repro.legion.privilege import Privilege
 from repro.legion.profiler import Profiler
 from repro.legion.region import Region
 from repro.legion.task import Pointwise, Requirement, ShardContext, TaskLaunch
+from repro.legion.timeline import Timeline
+from repro.legion.timeline import profile_default as _profile_default
+from repro.legion.timeline import register as _register_timeline
 from repro.machine import MachineScope, Memory, MemoryKind, Processor
 
 
@@ -130,6 +133,12 @@ class RuntimeConfig:
     # Deterministic fault injection (repro.legion.chaos): None means no
     # injection; defaults from the REPRO_CHAOS environment variable.
     chaos: Optional[ChaosConfig] = field(default_factory=chaos_default)
+    # Timeline profiling (repro.legion.timeline): record a Legion-Prof
+    # style span for every modeled activity — task shards, copies,
+    # retries, resizes, folds, allreduces, spills, checkpoint traffic,
+    # launch overhead.  Off by default (the hot path then pays one
+    # ``is not None`` check per site); defaults from REPRO_PROFILE.
+    profile: bool = field(default_factory=_profile_default)
 
     @property
     def effective_comm_scale(self) -> float:
@@ -224,6 +233,22 @@ class Runtime:
         self.event_log: Optional[EventLog] = None
         if self.config.validate:
             self.event_log = _register_log(EventLog(name=self.config.name))
+        # Timeline profiling: the span recorder, or None when off.
+        self.timeline: Optional[Timeline] = None
+        if self.config.profile:
+            self.timeline = _register_timeline(
+                Timeline(
+                    name=self.config.name,
+                    meta={
+                        "procs": len(scope.processors),
+                        "kind": scope.kind.value,
+                        "nodes": scope.nodes,
+                    },
+                )
+            )
+        self._proc_label = {
+            p.uid: f"{p.kind.value}[{p.uid}]" for p in scope.processors
+        }
         # Memory-magnification overrides keyed by region dim-0 extent;
         # see Region.mem_scale.
         self.mem_scale_by_extent: Dict[int, float] = {}
@@ -356,22 +381,49 @@ class Runtime:
         return future.value
 
     def barrier(self) -> float:
-        """Wait for all outstanding work; returns the simulated time."""
+        """Wait for all outstanding work; returns the simulated time.
+
+        "All outstanding work" includes channel occupancy: a trailing
+        copy — an asynchronous checkpoint snapshot or a spill issued
+        after the last kernel — keeps the machine busy past every
+        processor clock, and the sync point must wait for it.  (The
+        pre-fix formula took only ``max(issue, procs)`` and silently
+        under-reported runs ending in a copy.)
+        """
         self._sync("barrier")
         self.issue_time = max(
-            self.issue_time, max(self._proc_busy.values(), default=0.0)
+            self.issue_time,
+            max(self._proc_busy.values(), default=0.0),
+            self.machine.channel_horizon(),
         )
+        if self.timeline is not None:
+            self.timeline.note_horizon(self.issue_time)
         return self.issue_time
 
     def elapsed(self) -> float:
-        """Latest simulated time across issue and processors."""
+        """Latest simulated time across issue, processors and channels."""
         self._sync("elapsed")
-        return max(self.issue_time, max(self._proc_busy.values(), default=0.0))
+        horizon = max(
+            self.issue_time,
+            max(self._proc_busy.values(), default=0.0),
+            self.machine.channel_horizon(),
+        )
+        if self.timeline is not None:
+            self.timeline.note_horizon(horizon)
+        return horizon
 
     # ------------------------------------------------------------------
     # Copies
     # ------------------------------------------------------------------
-    def _copy(self, src: Memory, dst: Memory, nbytes: int, ready: float) -> float:
+    def _copy(
+        self,
+        src: Memory,
+        dst: Memory,
+        nbytes: int,
+        ready: float,
+        label: str = "",
+        category: str = "copy",
+    ) -> float:
         """Schedule a copy between memories; returns its finish time.
 
         Under chaos injection a copy attempt may hit a transient link
@@ -380,12 +432,16 @@ class Runtime:
         retries, up to ``ChaosConfig.max_retries`` — after which the
         fault is deemed permanent and raises :class:`FaultError`.
         Numerics are untouched: only modeled time is lost.
+
+        ``label``/``category`` name the timeline span when profiling
+        (category "copy", or "spill"/"checkpoint" for those paths).
         """
         nbytes = int(nbytes * self.config.effective_comm_scale)
         channels = self.machine.channels_between(src, dst)
         start = max([ready] + [c.busy_until for c in channels])
         latency = sum(c.latency for c in channels)
         bandwidth = min(c.bandwidth for c in channels)
+        tl = self.timeline
         chaos = self._chaos
         if chaos is not None:
             attempt = 0
@@ -408,19 +464,41 @@ class Runtime:
                 self.profiler.record_retry(pause)
                 for chan in channels:
                     chan.busy_until = max(chan.busy_until, failed)
+                    if tl is not None:
+                        tl.record(
+                            "retry", chan.name,
+                            f"{label or 'copy'}!attempt{attempt}",
+                            start, failed, nbytes=nbytes,
+                        )
+                        tl.record(
+                            "backoff", chan.name,
+                            f"{label or 'copy'}!backoff{attempt}",
+                            failed, failed + pause,
+                        )
                 start = failed + pause
         finish = start + latency + nbytes / bandwidth
         for chan in channels:
             chan.busy_until = finish
             self.profiler.record_copy(chan.name, nbytes)
+            if tl is not None:
+                tl.record(
+                    category, chan.name, label or category,
+                    start, finish, nbytes=nbytes,
+                )
         return finish
 
-    def _intra_copy(self, memory: Memory, nbytes: int, ready: float) -> float:
+    def _intra_copy(
+        self, memory: Memory, nbytes: int, ready: float, label: str = "resize"
+    ) -> float:
         nbytes = int(nbytes * self.config.data_scale)
         chan = self.machine.channels_between(memory, memory)[0]
         start = max(ready, chan.busy_until)
         finish = start + nbytes / chan.bandwidth
         chan.busy_until = finish
+        if self.timeline is not None:
+            self.timeline.record(
+                "resize", chan.name, label, start, finish, nbytes=nbytes
+            )
         return finish
 
     # ------------------------------------------------------------------
@@ -533,6 +611,15 @@ class Runtime:
             overhead *= self._trace_hook(task.name)
         self.issue_time += overhead
         self.profiler.record_launch_overhead(overhead)
+        tl = self.timeline
+        if tl is not None:
+            # One issue span per launch: a fused group shows as a single
+            # span for the whole merged launch — the overhead saving
+            # fusion buys is directly visible on the "issue" row.
+            tl.record(
+                "issue", "issue", task.name,
+                self.issue_time - overhead, self.issue_time,
+            )
 
         scalar_ready = 0.0
         scalar_values: Dict[str, Any] = {}
@@ -595,7 +682,10 @@ class Runtime:
                 )
                 if resize_bytes:
                     self.profiler.record_resize(resize_bytes)
-                    t_input = self._intra_copy(memory, resize_bytes, t_input)
+                    t_input = self._intra_copy(
+                        memory, resize_bytes, t_input,
+                        label=f"resize:{req.region.name or req.name}",
+                    )
                 if req.privilege.reads:
                     pieces = req.partition.pieces(color)
                     if fresh:
@@ -610,7 +700,10 @@ class Runtime:
                         dup = (rect.volume() - missing) * req.region.itemsize
                         if dup > 0:
                             self.profiler.record_resize(dup)
-                            t_input = self._intra_copy(memory, dup, t_input)
+                            t_input = self._intra_copy(
+                                memory, dup, t_input,
+                                label=f"dup:{req.region.name or req.name}",
+                            )
                     for piece in pieces:
                         t_input = self._stage_reads(
                             req.region, memory, piece, t_input, replay=replay
@@ -635,6 +728,14 @@ class Runtime:
             finish = start + exec_time
             self._proc_busy[proc.uid] = finish
             self.profiler.record_event(task.name, start, finish)
+            if tl is not None:
+                tl.record(
+                    "task", self._proc_label[proc.uid],
+                    f"replay:{task.name}" if replay else task.name,
+                    start, finish,
+                    nbytes=int(float(nbytes) * scale),
+                    flops=float(flops) * scale,
+                )
 
             if not replay:
                 partial = task.kernel(ctx)
@@ -712,7 +813,10 @@ class Runtime:
             for src_uid, frag, t_src in coh.find_source(piece, exclude=memory.uid):
                 src_mem = self._memory_by_uid(src_uid)
                 nbytes = frag.volume() * region.itemsize
-                finish = self._copy(src_mem, memory, nbytes, t_src)
+                finish = self._copy(
+                    src_mem, memory, nbytes, t_src,
+                    label=f"stage:{region.name}" if region.name else "stage",
+                )
                 if self.event_log is not None:
                     self.event_log.record_copy(
                         region.uid, region.name, frag,
@@ -767,6 +871,13 @@ class Runtime:
                     )
                 pause = chaos.backoff(attempt)
                 self.profiler.record_retry(pause)
+                if self.timeline is not None:
+                    self.timeline.record(
+                        "backoff",
+                        f"{memory.kind.value}[{memory.uid}]",
+                        f"alloc:{task.name}!backoff{attempt}",
+                        t_input, t_input + pause,
+                    )
                 t_input += pause
                 continue
             try:
@@ -835,6 +946,16 @@ class Runtime:
                 nbytes = st.drop_instance(inst)
                 coh.invalidate(memory.uid, inst.rect)
                 self.profiler.record_eviction(nbytes)
+                if self.timeline is not None:
+                    # Zero-width marker: dropping a clean instance costs
+                    # no modeled time, but the pressure event matters.
+                    name, _ = self._region_meta.get(inst.region_uid, ("", 0))
+                    self.timeline.record(
+                        "evict",
+                        f"{memory.kind.value}[{memory.uid}]",
+                        f"evict:{name or inst.region_uid}",
+                        t, t, nbytes=int(nbytes),
+                    )
                 freed += nbytes
         # Pass 2: spill dirty instances to host system memory.
         if st.available < need_scaled and memory.uid != host.uid:
@@ -854,6 +975,8 @@ class Runtime:
                     finish = self._copy(
                         memory, host, nbytes,
                         max(t, coh.ready_time(memory.uid, rect)),
+                        label=f"spill:{name or inst.region_uid}",
+                        category="spill",
                     )
                     if self.event_log is not None:
                         self.event_log.record_copy(
@@ -881,12 +1004,16 @@ class Runtime:
         :meth:`create_region`).  The journal then resets — a subsequent
         loss replays only tasks launched after this epoch.  Returns the
         scaled snapshot bytes.
+
+        The snapshot drains *asynchronously*: the issue clock is not
+        blocked on it (real checkpointing overlaps compute), so only
+        channel occupancy remembers the traffic — which is exactly what
+        the sync-point clocks (:meth:`elapsed`/:meth:`barrier`) fold in.
         """
         self._sync("checkpoint")
         host = self._host_memory
         total = 0
         nregions = 0
-        t_done = self.issue_time
         for uid, coh in self._coherence.items():
             need = coh.written.subtract(coh.valid_set(host.uid))
             if need.is_empty():
@@ -901,6 +1028,8 @@ class Runtime:
                     finish = self._copy(
                         self._memory_by_uid(src_uid), host, nbytes,
                         max(self.issue_time, t_src),
+                        label=f"ckpt:{name or uid}",
+                        category="checkpoint",
                     )
                     if self.event_log is not None:
                         self.event_log.record_copy(
@@ -909,12 +1038,9 @@ class Runtime:
                         )
                     coh.mark_valid(host.uid, frag, finish)
                     total += int(nbytes * self.config.effective_comm_scale)
-                    t_done = max(t_done, finish)
                     copied = True
             if copied:
                 nregions += 1
-        # A checkpoint is a blocking epoch boundary.
-        self.issue_time = max(self.issue_time, t_done)
         self.profiler.record_checkpoint(total)
         if self.event_log is not None:
             self.event_log.record_checkpoint(total, nregions)
@@ -961,7 +1087,14 @@ class Runtime:
             self.instances.lose_memory(uid)
             for coh in self._coherence.values():
                 coh.invalidate(uid)
+        t_before = self.issue_time
         self.issue_time += self._chaos.config.recovery_delay * len(losses)
+        if self.timeline is not None:
+            self.timeline.record(
+                "recovery", "issue",
+                f"recover:{len(losses)}-loss",
+                t_before, self.issue_time,
+            )
         for puid in self._proc_busy:
             self._proc_busy[puid] = max(self._proc_busy[puid], self.issue_time)
         journal, self._journal = self._journal, []
@@ -998,7 +1131,10 @@ class Runtime:
                     continue
                 nbytes = overlap.volume() * req.region.itemsize
                 if src_mem.uid != memory.uid:
-                    t_arrive = self._copy(src_mem, memory, nbytes, t_write)
+                    t_arrive = self._copy(
+                        src_mem, memory, nbytes, t_write,
+                        label=f"fold:{req.region.name or req.name}",
+                    )
                     if self.event_log is not None:
                         self.event_log.record_copy(
                             req.region.uid, req.region.name, overlap,
@@ -1013,6 +1149,13 @@ class Runtime:
                 t_start = max(t_arrive, self._proc_busy[proc.uid])
                 t_done = max(t_done, t_start + fold_time)
                 self._proc_busy[proc.uid] = t_start + fold_time
+                if self.timeline is not None:
+                    self.timeline.record(
+                        "fold", self._proc_label[proc.uid],
+                        f"fold:{req.region.name or req.name}",
+                        t_start, t_start + fold_time,
+                        nbytes=int(nbytes * self.config.data_scale),
+                    )
             coh.mark_written(memory.uid, tile, t_done)
             if self.event_log is not None:
                 self.event_log.record_fold(
@@ -1060,19 +1203,27 @@ class Runtime:
         if self.event_log is not None:
             self.event_log.record_allreduce(op, p)
         if p <= 1:
-            return Future(value, t0 + self.config.allreduce_base_overhead)
-        hops = math.ceil(math.log2(p))
-        hop_latency = self.machine.interconnect_latency(self.scope.nodes)
-        bandwidth = self.machine.config.nic_bandwidth
-        per_hop = (
-            hop_latency + nbytes / bandwidth + self.config.allreduce_hop_overhead
-        )
-        t = (
-            t0
-            + self.config.allreduce_base_overhead
-            + hops * per_hop
-            + p * self.config.allreduce_linear_overhead
-        )
+            t = t0 + self.config.allreduce_base_overhead
+        else:
+            hops = math.ceil(math.log2(p))
+            hop_latency = self.machine.interconnect_latency(self.scope.nodes)
+            bandwidth = self.machine.config.nic_bandwidth
+            per_hop = (
+                hop_latency + nbytes / bandwidth + self.config.allreduce_hop_overhead
+            )
+            t = (
+                t0
+                + self.config.allreduce_base_overhead
+                + hops * per_hop
+                + p * self.config.allreduce_linear_overhead
+            )
+        if self.timeline is not None:
+            # Abstract "network" resource: allreduces carry no channel
+            # occupancy in the model and may overlap, so the category is
+            # deliberately non-busy (excluded from span conservation).
+            self.timeline.record(
+                "allreduce", "network", f"allreduce:{op}", t0, t, nbytes=nbytes
+            )
         return Future(value, t)
 
     # ------------------------------------------------------------------

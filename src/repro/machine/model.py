@@ -229,6 +229,19 @@ class Machine:
         """One network hop latency; used by the allreduce model."""
         return self.config.nic_latency if nodes > 1 else self.config.nvlink_latency
 
+    def channels(self) -> List[Channel]:
+        """Every channel in use so far (lazily created paths + NICs)."""
+        return list(self._channels.values()) + list(self._nic.values())
+
+    def channel_horizon(self) -> float:
+        """The latest channel occupancy anywhere on the machine.
+
+        Sync points fold this into the simulated clock: a trailing
+        copy (checkpoint snapshot, spill) keeps the machine busy after
+        the last kernel retires.
+        """
+        return max((c.busy_until for c in self.channels()), default=0.0)
+
     def reset_channels(self) -> None:
         """Clear all channel occupancy."""
         for chan in self._channels.values():

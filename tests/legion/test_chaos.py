@@ -15,12 +15,12 @@ GRID = 16
 ITERS = 4
 
 
-def _cg_run(chaos, procs=2, nodes=1):
+def _cg_run(chaos, procs=2, nodes=1, profile=False):
     """One small CG solve under a chaos config; returns (x, rt, t0, t1)."""
     machine = summit(nodes=nodes)
     rt = Runtime(
         machine.scope(ProcessorKind.GPU, procs, per_node=min(procs, 2)),
-        RuntimeConfig.legate(chaos=chaos),
+        RuntimeConfig.legate(chaos=chaos, profile=profile),
     )
     with runtime_scope(rt):
         A = sp.csr_matrix(poisson2d_scipy(GRID))
@@ -167,3 +167,69 @@ class TestLossRecovery:
             _, rt, _, _ = _cg_run(chaos)
             reexec[every] = rt.profiler.tasks_reexecuted
         assert 0 < reexec[12] < reexec[24]
+
+
+class TestTimelineComposition:
+    """Chaos injection must stay visible — and conserved — on the timeline."""
+
+    def _profiled_run(self, chaos, procs=2, nodes=1):
+        from repro.legion.timeline import drain_timelines
+
+        drain_timelines()
+        try:
+            return _cg_run(chaos, procs=procs, nodes=nodes, profile=True)
+        finally:
+            drain_timelines()
+
+    def test_copy_faults_appear_as_retry_backoff_subspans(self):
+        chaos = ChaosConfig(seed=7, copy_fault_rate=0.05)
+        _, rt, _, _ = self._profiled_run(chaos)
+        retries = [s for s in rt.timeline.spans if s.category == "retry"]
+        backoffs = [s for s in rt.timeline.spans if s.category == "backoff"]
+        # One retry + one backoff span per injected copy fault (every
+        # intra-node path is a single channel).
+        assert len(retries) == rt.profiler.faults_injected["copy"] > 0
+        assert len(backoffs) == len(retries)
+        for retry, backoff in zip(retries, backoffs):
+            # The doomed attempt holds the wire, then the pause begins.
+            assert retry.finish == backoff.start
+            assert backoff.duration > 0
+
+    def test_span_conservation_under_faults(self):
+        chaos = ChaosConfig(seed=7, copy_fault_rate=0.05, alloc_fault_rate=0.05)
+        _, rt, _, _ = self._profiled_run(chaos)
+        assert rt.profiler.retries > 0
+        usage = rt.timeline.utilization()
+        for resource, u in usage.items():
+            assert u.busy == pytest.approx(u.busy_sum, abs=0.0), resource
+
+    def test_critical_path_exact_under_faults(self):
+        chaos = ChaosConfig(seed=7, copy_fault_rate=0.05)
+        _, rt, _, _ = self._profiled_run(chaos)
+        with runtime_scope(rt):
+            elapsed = rt.elapsed()
+        path = rt.timeline.critical_path(elapsed)
+        assert path.start == 0.0
+        assert path.length == elapsed
+        for a, b in zip(path.steps, path.steps[1:]):
+            assert a.finish == b.start
+
+    def test_loss_recovery_visible_on_timeline(self):
+        _, _, t0, t1 = _cg_run(None)
+        chaos = ChaosConfig(
+            checkpoint_every=16,
+            recovery_delay=5e-3,
+            losses=(LossSchedule("gpu", 1, (t0 + t1) / 2),),
+        )
+        _, rt, _, _ = self._profiled_run(chaos)
+        categories = {s.category for s in rt.timeline.spans}
+        assert "recovery" in categories
+        assert "checkpoint" in categories
+        replayed = [
+            s for s in rt.timeline.spans
+            if s.category == "task" and s.name.startswith("replay:")
+        ]
+        assert len(replayed) > 0
+        # Conservation still holds through checkpoint + replay traffic.
+        for resource, u in rt.timeline.utilization().items():
+            assert u.busy == pytest.approx(u.busy_sum, abs=0.0), resource

@@ -1,5 +1,7 @@
 """Profiler unit tests: counters, deltas, summaries."""
 
+from dataclasses import fields
+
 import numpy as np
 
 import repro.numeric as rnp
@@ -63,3 +65,82 @@ class TestCounters:
         p.record_events = True
         p.record_event("x", 0.0, 1.0)
         assert p.events == [("x", 0.0, 1.0)]
+
+    def test_summary_prints_fills(self):
+        p = Profiler()
+        p.record_fill()
+        p.record_fill()
+        assert "fills:            2" in p.format_summary()
+        # And stays quiet when nothing was filled.
+        assert "fills" not in Profiler().format_summary()
+
+
+class TestSnapshotDelta:
+    def test_snapshot_carries_events(self):
+        p = Profiler(record_events=True)
+        p.record_event("warm", 0.0, 1.0)
+        snap = p.snapshot()
+        assert snap.events == [("warm", 0.0, 1.0)]
+        p.record_event("solve", 1.0, 2.0)
+        assert snap.events == [("warm", 0.0, 1.0)]  # frozen copy
+
+    def test_since_slices_event_tail(self):
+        p = Profiler(record_events=True)
+        p.record_event("warm", 0.0, 1.0)
+        snap = p.snapshot()
+        p.record_event("solve", 1.0, 2.0)
+        p.record_event("solve", 2.0, 3.0)
+        delta = p.since(snap)
+        assert delta.events == [("solve", 1.0, 2.0), ("solve", 2.0, 3.0)]
+        assert delta.record_events is True  # flags copy, not subtract
+
+    def test_drift_guard_every_field_survives_delta(self):
+        """Bump every counter field by a distinct amount and assert the
+        snapshot/since pair reproduces exactly that delta — a counter
+        added without snapshot support can never slip through again."""
+        base = Profiler()
+        bumped = Profiler()
+        for i, f in enumerate(fields(Profiler)):
+            bump = i + 1
+            cur = getattr(bumped, f.name)
+            if isinstance(cur, bool):
+                setattr(base, f.name, True)
+                setattr(bumped, f.name, True)
+            elif isinstance(cur, int):
+                setattr(base, f.name, 10 * bump)
+                setattr(bumped, f.name, 10 * bump + bump)
+            elif isinstance(cur, float):
+                setattr(base, f.name, 0.5 * bump)
+                setattr(bumped, f.name, 0.5 * bump + bump)
+            elif isinstance(cur, dict):
+                getattr(base, f.name)[f.name] = 10 * bump
+                getattr(bumped, f.name)[f.name] = 10 * bump + bump
+                getattr(bumped, f.name)["fresh-key"] = bump
+            elif isinstance(cur, list):
+                getattr(base, f.name).append(("old", 0.0, 1.0))
+                getattr(bumped, f.name).extend(
+                    [("old", 0.0, 1.0), (f.name, 1.0, 2.0)]
+                )
+            else:
+                raise AssertionError(
+                    f"field {f.name!r} has a type the drift guard does "
+                    f"not cover: {type(cur).__name__}"
+                )
+        snap = bumped.snapshot()
+        # The snapshot is faithful for every field...
+        for f in fields(Profiler):
+            assert getattr(snap, f.name) == getattr(bumped, f.name), f.name
+        # ...and since() yields exactly the per-field bumps.
+        delta = bumped.since(base)
+        for i, f in enumerate(fields(Profiler)):
+            bump = i + 1
+            got = getattr(delta, f.name)
+            if isinstance(getattr(bumped, f.name), bool):
+                assert got is True, f.name
+            elif isinstance(got, (int, float)) and not isinstance(got, bool):
+                assert got == bump, f.name
+            elif isinstance(got, dict):
+                assert got[f.name] == bump, f.name
+                assert got["fresh-key"] == bump, f.name
+            else:
+                assert got == [(f.name, 1.0, 2.0)], f.name

@@ -176,6 +176,24 @@ class TestReduceFold:
         assert rt.profiler.total_copies("nvlink") > 0
 
 
+class TestSyncClock:
+    def test_trailing_copy_counted_by_sync_points(self, gpu2):
+        """elapsed()/barrier() must see channel occupancy: a run whose
+        final operation is a copy (an async checkpoint snapshot here)
+        is longer than max(issue, procs) says."""
+        rt = gpu2
+        inp = rt.create_region((4096,), np.float64, data=np.arange(4096.0))
+        out = rt.create_region((4096,), np.float64)
+        launch_double(rt, out, inp)
+        rt.checkpoint()  # snapshot of `out` drains on the channels
+        legacy = max(rt.issue_time, max(rt._proc_busy.values()))
+        horizon = rt.machine.channel_horizon()
+        assert horizon > legacy
+        assert rt.elapsed() == horizon
+        assert rt.barrier() == horizon
+        assert rt.issue_time == horizon  # barrier waited for the drain
+
+
 class TestAllreduce:
     def test_value_correct(self, gpu2):
         fut = gpu2.allreduce([1.0, 2.0, 3.0], [0.0, 0.0, 0.0])
