@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test validate check lint advise bench chaos profile
+.PHONY: test validate check lint advise autoformat bench chaos profile
 
 test:
 	python -m pytest -x -q
@@ -23,10 +23,20 @@ check:
 advise:
 	python -m repro.analysis advise examples/advisor_demo.py --machine summit:4
 
+# Static auto-format pass on the skew-SpMV demo: ranked ELL / SELL-C-sigma
+# / HYB recommendations per operand plus the format lint battery
+# (unamortized conversions are errors under --autoformat).
+autoformat:
+	python -m repro.analysis advise examples/format_advisor_demo.py --autoformat
+
 # Fusion benchmark: fused vs unfused CG + GMG, writes BENCH_fusion.json
 # and fails if fusion saves < 30% of launches or changes any bit.
+# Format benchmark: CSR vs the advised format on a power-law skew SpMV,
+# writes BENCH_format.json and fails unless the advised run charges
+# strictly less modeled compute with bitwise-identical results.
 bench:
 	python scripts/bench.py
+	python scripts/format.py
 
 # Chaos benchmark: CG under deterministic fault schedules (transient
 # copy/alloc faults, GPU loss + checkpoint/replay recovery), writes

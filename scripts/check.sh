@@ -36,6 +36,9 @@ python scripts/bench.py --output BENCH_fusion.json > /dev/null
 echo "== chaos bench smoke (fault schedules vs baseline, writes BENCH_chaos.json) =="
 python scripts/chaos.py --output BENCH_chaos.json > /dev/null
 
+echo "== format bench smoke (CSR vs advised format, writes BENCH_format.json) =="
+python scripts/format.py --output BENCH_format.json > /dev/null
+
 echo "== profile smoke (fig9 CG under REPRO_PROFILE=1, trace artifacts) =="
 mkdir -p artifacts
 REPRO_PROFILE=1 python -m repro.harness.experiments.fig9_cg \
@@ -60,6 +63,13 @@ python -m repro.analysis profile artifacts/fig9_cg.spans.json > /dev/null
 echo "== advisor smoke (static trace, no kernels) =="
 python -m repro.analysis advise examples/advisor_demo.py \
     --machine summit:4 -- --maxiter 2 > /dev/null
+# The auto-format pass must recommend a non-CSR format for the skewed
+# demo (and exit zero: its conversions amortize over the demo's loop).
+python -m repro.analysis advise examples/format_advisor_demo.py \
+    --autoformat | grep -q "recommended" || {
+    echo "auto-format advisor produced no recommendation" >&2
+    exit 1
+}
 # The seeded-violations program must make the advisor exit non-zero.
 if python -m repro.analysis advise examples/advisor_violations.py \
     --data-scale 4e4 > /dev/null 2>&1; then

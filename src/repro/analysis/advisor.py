@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.costmodel import for_task_name
 from repro.analysis.events import EventLog, ReqAccess
+from repro.analysis.formatsel import FormatAdvice, advise_formats
 from repro.analysis.plan import PlanFree, PlanNote, PlanOp, PlanRegion, PlanTrace
 from repro.constraints.solver import solve_partitions
 from repro.legion import fusion
@@ -91,6 +92,14 @@ class AdvisorConfig:
     pressure_warn_fraction: float = 0.85
     # Keep at most this many findings per rule (volume guard).
     max_findings_per_rule: int = 16
+    # Auto-format pass (repro.analysis.formatsel): walk the plan's SpMV
+    # launches, replay ELL / SELL-C-sigma / HYB candidates through the
+    # machine model, and report ranked per-operand recommendations plus
+    # the format lint battery.  Off by default; ``advise --autoformat``
+    # turns it on.  With the pass enabled, an unamortized conversion is
+    # an *error* — the flag asks "should this plan run under
+    # RuntimeConfig.autoformat?", and the answer must gate CI.
+    autoformat: bool = False
 
 
 @dataclass(frozen=True)
@@ -165,6 +174,9 @@ class Advice:
     fusion_groups: List[Tuple[Tuple[str, ...], int]] = field(
         default_factory=list
     )
+    # Ranked per-operand format recommendations from the static
+    # auto-format pass (empty unless AdvisorConfig.autoformat is on).
+    format_advice: List[FormatAdvice] = field(default_factory=list)
 
     @property
     def errors(self) -> List[Finding]:
@@ -218,6 +230,7 @@ class Advice:
                 {"names": list(names), "elided": elided}
                 for names, elided in self.fusion_groups
             ],
+            "format_advice": [fa.to_dict() for fa in self.format_advice],
             "errors": len(self.errors),
             "warnings": len(self.warnings),
         }
@@ -278,6 +291,33 @@ class Advice:
                 f"({away} launches merged away, {elided} temporaries "
                 f"elided)"
             )
+            lines.append("")
+        if self.format_advice:
+            lines.append("format advice (static auto-format pass):")
+            for fa in self.format_advice:
+                lines.append(
+                    f"  {fa.operand} ({fa.current_fmt}, "
+                    f"{fa.rows}x{fa.cols}, nnz {fa.nnz}, row mean "
+                    f"{fa.row_mean:.1f} / max {fa.row_max}) over "
+                    f"{fa.ops_observed} SpMV launch(es):"
+                )
+                for cand in fa.decision.candidates:
+                    tags = []
+                    if cand.fmt == fa.recommended_fmt:
+                        tags.append("<- recommended")
+                    if cand.fmt == fa.current_fmt:
+                        tags.append("(current)")
+                    if not cand.bitwise_safe:
+                        tags.append("(not bitwise-safe)")
+                    be = (
+                        f"break-even {cand.break_even_ops:g} ops"
+                        if cand.fmt != fa.current_fmt
+                        else ""
+                    )
+                    lines.append(
+                        f"    {cand.fmt:5s} {cand.op_seconds:.3e}s/op  "
+                        f"{be:22s} {' '.join(tags)}".rstrip()
+                    )
             lines.append("")
         if self.findings:
             lines.append("findings:")
@@ -1038,6 +1078,17 @@ def analyze(
     _lint_capacity_pressure(predictor)
     _lint_fusion(predictor)
 
+    format_advice: List[FormatAdvice] = []
+    if options.autoformat:
+        # The pass answers "should this plan run under
+        # RuntimeConfig.autoformat?" — so unamortized conversions
+        # escalate to errors (autoformat_on) and gate the CLI exit code.
+        format_advice, format_lints = advise_formats(
+            plan, scope, config, autoformat_on=True
+        )
+        for severity, rule, message in format_lints:
+            predictor._finding(severity, rule, message)
+
     machine = scope.machine
     cfg = machine.config
     memories = []
@@ -1100,6 +1151,7 @@ def analyze(
             if getattr(config, "fusion", False)
             else []
         ),
+        format_advice=format_advice,
     )
 
 

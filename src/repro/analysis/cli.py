@@ -84,6 +84,13 @@ def build_advise_parser() -> argparse.ArgumentParser:
         "(trace at reduced size, analyze at paper scale)",
     )
     parser.add_argument(
+        "--autoformat", action="store_true",
+        help="run the static auto-format pass: rank ELL/SELL-C-sigma/HYB "
+        "against the current format for every SpMV operand and lint for "
+        "skew, padding waste and unamortized conversions (unamortized "
+        "conversions are errors under this flag)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
     parser.add_argument(
@@ -179,7 +186,12 @@ def _advise_main(argv: List[str]) -> int:
     args.args = list(args.args) + passthrough
     # Imported here, not at module top: the advisor sits above the
     # runtime layers (see repro.analysis.__init__ on the cycle rule).
-    from repro.analysis.advisor import analyze, parse_machine, _make_scope
+    from repro.analysis.advisor import (
+        AdvisorConfig,
+        analyze,
+        parse_machine,
+        _make_scope,
+    )
     from repro.analysis.plan import PlanTrace
     from repro.legion.runtime import Runtime, RuntimeConfig, runtime_scope
 
@@ -218,7 +230,7 @@ def _advise_main(argv: List[str]) -> int:
         sys.argv = saved_argv
         runtime.plan_trace = None
 
-    advice = analyze(plan)
+    advice = analyze(plan, options=AdvisorConfig(autoformat=args.autoformat))
     if args.json:
         print(json.dumps(advice.to_dict(), indent=2))
     else:

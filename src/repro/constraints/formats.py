@@ -1,0 +1,89 @@
+"""Per-format partitioning constraint sets for sparse SpMV operands.
+
+One place that states, declaratively, how each sparse format's stores
+must be partitioned for a row-distributed SpMV — the same constraint
+tags the DISTAL templates emit (:mod:`repro.distal.codegen`) and the
+generic launcher translates (:mod:`repro.distal.registry`).  The
+structural lint in :mod:`repro.distal` checks generated kernels against
+their declared sets; this module is the authoritative catalogue the
+auto-format work added for ELL / SELL-C-sigma / HYB, kept next to the
+constraint system so a new format starts from its partitioning story.
+
+Each entry is a tuple of constraint tuples in launcher syntax:
+
+* ``("align", a, b)`` — stores ``a`` and ``b`` tile together on dim 0;
+* ``("image_range", pos, (dests...))`` — ``pos`` ranges carve ``dests``;
+* ``("broadcast", s)`` — every shard sees all of ``s``;
+* ``("explicit", s)`` — the launcher supplies a layout-derived
+  partition (SELL's packed slices follow conversion-time geometry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+ConstraintSet = Tuple[tuple, ...]
+
+#: Row-distributed SpMV constraint sets, by format name.
+SPMV_CONSTRAINTS: Dict[str, ConstraintSet] = {
+    "csr": (
+        ("align", "y", "pos"),
+        ("image_range", "pos", ("crd", "vals")),
+        ("image_coord", "crd", ("x",)),
+    ),
+    "coo": (
+        ("align", "row", "col"),
+        ("align", "row", "vals"),
+        ("image_coord", "row", ("y",)),
+        ("image_coord", "col", ("x",)),
+    ),
+    "dia": (
+        ("align", "y", "data"),
+        ("broadcast", "offsets"),
+        ("explicit", "x"),
+    ),
+    "bsr": (
+        ("image_range", "pos", ("crd", "vals")),
+        ("explicit", "y"),
+        ("explicit", "x"),
+    ),
+    "ell": (
+        ("align", "y", "data"),
+        ("align", "cols", "data"),
+        ("align", "rowlen", "data"),
+        ("broadcast", "x"),
+    ),
+    "sell": (
+        ("explicit", "y"),
+        ("explicit", "data"),
+        ("explicit", "cols"),
+        ("explicit", "perm"),
+        ("explicit", "rowlen"),
+        ("explicit", "start"),
+        ("explicit", "stride"),
+        ("broadcast", "x"),
+    ),
+    "hyb": (
+        ("align", "y", "data"),
+        ("align", "cols", "data"),
+        ("align", "rowlen", "data"),
+        ("align", "spill_pos", "data"),
+        ("image_range", "spill_pos", ("spill_crd", "spill_vals")),
+        ("broadcast", "x"),
+    ),
+}
+
+
+def spmv_constraints(fmt: str) -> ConstraintSet:
+    """The declared SpMV constraint set of a format.
+
+    Raises ``KeyError`` for formats with no row-distributed SpMV story.
+    """
+    return SPMV_CONSTRAINTS[fmt]
+
+
+def explicit_stores(fmt: str) -> Tuple[str, ...]:
+    """Store names whose partitions the launcher must supply."""
+    return tuple(
+        con[1] for con in SPMV_CONSTRAINTS[fmt] if con[0] == "explicit"
+    )

@@ -112,6 +112,18 @@ class spmatrix:
         """Convert to DIA (through COO)."""
         return self.tocoo().todia()
 
+    def toell(self):
+        """Convert to ELL (through CSR)."""
+        return self.tocsr().toell()
+
+    def tosell(self, c: Optional[int] = None, sigma: Optional[int] = None):
+        """Convert to SELL-C-sigma (through CSR)."""
+        return self.tocsr().tosell(c=c, sigma=sigma)
+
+    def tohyb(self, quantile: Optional[float] = None):
+        """Convert to HYB (through CSR)."""
+        return self.tocsr().tohyb(quantile=quantile)
+
     def asformat(self, fmt: str):
         """Convert to the named format (no-op if already)."""
         if fmt == self.format:

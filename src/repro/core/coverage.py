@@ -27,6 +27,12 @@ GENERATED: List[str] = [
     "coo_matvec",
     "bsr_matvec",            # block-sparse rows: the paper's planned
                              # next DISTAL format (§5.4), implemented here
+    # Row-length-sensitive formats behind the auto-format selector
+    # (repro.analysis.formatsel): bitwise-identical SpMV on padded /
+    # sliced / hybrid local layouts.
+    "ell_matvec",
+    "sell_matvec",           # SELL-C-sigma packed slices
+    "hyb_matvec",            # ELL part + spill ranges
 ]
 
 # Ported: SciPy-API functions implemented on top of the generated
@@ -34,12 +40,15 @@ GENERATED: List[str] = [
 PORTED: List[str] = [
     # format classes and constructors
     "csr_matrix", "csc_matrix", "coo_matrix", "dia_matrix", "bsr_matrix",
+    "ell_matrix", "sell_matrix", "hyb_matrix",
     "csr_array", "csc_array", "coo_array", "dia_array", "bsr_array",
+    "ell_array", "sell_array", "hyb_array",
     # construction routines
     "eye", "identity", "diags", "random", "rand", "kron",
     "vstack", "hstack",
     # conversions & structure
-    "tocsr", "tocsc", "tocoo", "todia", "asformat", "toarray", "todense",
+    "tocsr", "tocsc", "tocoo", "todia", "toell", "tosell", "tohyb",
+    "asformat", "toarray", "todense",
     "transpose", "getnnz", "copy", "astype", "conj", "conjugate",
     "diagonal", "sum", "mean", "issparse", "getrow",
     # value-space algebra (via repro.numeric on the vals region)
@@ -120,13 +129,37 @@ def advisor_analyzable(name: str) -> bool:
     return costmodel.analyzable(name)
 
 
+#: Sparse-format name fragments recognized by :func:`op_formats`.
+FORMAT_NAMES = ("csr", "csc", "coo", "dia", "bsr", "ell", "sell", "hyb")
+
+
+def op_formats(name: str) -> List[str]:
+    """The sparse formats an operation is specific to.
+
+    Derived from naming conventions: ``csr_matvec`` -> ``["csr"]``,
+    ``csr_to_csc_sort`` -> ``["csr", "csc"]``, ``tosell`` ->
+    ``["sell"]``.  Format-generic operations (solvers, constructors,
+    element-wise algebra) report ``["any"]``.
+    """
+    base = name.rsplit(".", 1)[-1]
+    if base.startswith("to") and base[2:] in FORMAT_NAMES:
+        return [base[2:]]
+    found = [
+        fmt for fmt in FORMAT_NAMES
+        if base == fmt or base.startswith(fmt + "_") or f"_{fmt}_" in base
+        or base.endswith(f"_{fmt}")
+    ]
+    return found or ["any"]
+
+
 def inventory() -> List[Dict[str, object]]:
     """The full inventory: one row per operation.
 
-    Columns: ``name``, ``strategy`` (generated/ported/handwritten) and
+    Columns: ``name``, ``strategy`` (generated/ported/handwritten),
     ``advisor`` — whether ``python -m repro.analysis advise`` can cost
     the operation statically (closed-form model for generated kernels;
-    trace-replay for the rest).
+    trace-replay for the rest) — and ``formats``, the sparse formats
+    the operation is specific to (``["any"]`` when format-generic).
     """
     rows: List[Dict[str, object]] = []
     for name in GENERATED:
@@ -135,10 +168,25 @@ def inventory() -> List[Dict[str, object]]:
                 "name": name,
                 "strategy": "generated",
                 "advisor": advisor_analyzable(name),
+                "formats": op_formats(name),
             }
         )
     for name in PORTED:
-        rows.append({"name": name, "strategy": "ported", "advisor": True})
+        rows.append(
+            {
+                "name": name,
+                "strategy": "ported",
+                "advisor": True,
+                "formats": op_formats(name),
+            }
+        )
     for name in HANDWRITTEN:
-        rows.append({"name": name, "strategy": "handwritten", "advisor": True})
+        rows.append(
+            {
+                "name": name,
+                "strategy": "handwritten",
+                "advisor": True,
+                "formats": op_formats(name),
+            }
+        )
     return rows

@@ -199,6 +199,10 @@ class csr_matrix(spmatrix):
         return csr_matrix(self, dtype=out_dtype)
 
     def _matvec(self, x: ndarray) -> ndarray:
+        if self._runtime.config.autoformat:
+            alt = self._autoformat_alt()
+            if alt is not self:
+                return alt._matvec(x)
         A = self._promoted(x.dtype)
         out_dtype = A.dtype
         y = rnp.empty(self.shape[0], dtype=out_dtype)
@@ -207,6 +211,57 @@ class csr_matrix(spmatrix):
         stores.update({"y": y.store, "x": x.store})
         launch(spec, self._runtime, stores)
         return y
+
+    def _autoformat_alt(self):
+        """Auto-format hook: replay the format selector at first SpMV.
+
+        Runs the same :func:`~repro.analysis.formatsel.select_format`
+        the static advisor uses, so runtime decisions match advisor
+        predictions exactly; converts only to bitwise-safe formats and
+        caches the result (self is the stay-CSR sentinel).
+        """
+        cached = getattr(self, "_autoformat_cache", None)
+        if cached is not None:
+            return cached
+        from repro.analysis.formatsel import profile_matrix, select_format
+
+        rt = self._runtime
+        rt.barrier()
+        pos = self.pos.data
+        rl = (pos[:, 1] - pos[:, 0]).astype(np.int64)
+        profile = profile_matrix(
+            rl,
+            self.shape[1],
+            self.dtype.itemsize,
+            num_procs=len(rt.scope.processors),
+        )
+        decision = select_format(profile, rt.scope, rt.config)
+        best = decision.best
+        if best.fmt == "csr" or not best.bitwise_safe:
+            self._autoformat_cache = self
+            return self
+        alt = self.asformat(best.fmt)
+        self._autoformat_cache = alt
+        rt.autoformat_log.append(
+            {
+                "rows": profile.rows,
+                "cols": profile.cols,
+                "nnz": profile.nnz,
+                "dst_fmt": best.fmt,
+                "predicted_op_seconds": best.op_seconds,
+                "csr_op_seconds": decision.csr_seconds,
+                "convert_seconds": best.convert_seconds,
+                "break_even_ops": best.break_even_ops,
+            }
+        )
+        self._advisor_note(
+            "autoformat",
+            src_fmt="csr",
+            dst_fmt=best.fmt,
+            rows=profile.rows,
+            nnz=profile.nnz,
+        )
+        return alt
 
     def _rmatvec(self, x: ndarray) -> ndarray:
         A = self._promoted(x.dtype)
@@ -430,6 +485,30 @@ class csr_matrix(spmatrix):
     def todia(self):
         """Convert via COO."""
         return self.tocoo().todia()
+
+    def toell(self):
+        """Distributed padding to ELL (lanes masked by rowlen)."""
+        from repro.core.convert import csr_to_ell
+
+        result = csr_to_ell(self)
+        self._note_convert("ell", result)
+        return result
+
+    def tosell(self, c: Optional[int] = None, sigma: Optional[int] = None):
+        """Distributed repack to SELL-C-sigma (tiles permute onto themselves)."""
+        from repro.core.convert import csr_to_sell
+
+        result = csr_to_sell(self, c=c, sigma=sigma)
+        self._note_convert("sell", result)
+        return result
+
+    def tohyb(self, quantile: Optional[float] = None):
+        """Distributed split to HYB (ELL part at a row-length quantile)."""
+        from repro.core.convert import csr_to_hyb
+
+        result = csr_to_hyb(self, quantile=quantile)
+        self._note_convert("hyb", result)
+        return result
 
     def toarray(self) -> np.ndarray:
         """Synchronize and densify (vectorized expansion)."""

@@ -1,0 +1,172 @@
+"""ELL matrices: fixed-width padded rows for low-variance structure.
+
+Storage layout: ``data`` and ``cols`` are ``(n, K)`` regions where ``K``
+is the global maximum row length (floored at one lane so empty matrices
+still have a store), plus a per-row ``rowlen`` vector.  Padding lanes
+hold zeros and are masked out by ``rowlen`` in every kernel, so the
+generated SpMV rebuilds the exact CSR contribution order and stays
+bitwise identical to CSR execution (tests/core/test_formats.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.numeric as rnp
+from repro.core import validation
+from repro.core.base import spmatrix
+from repro.distal.formats import ELL
+from repro.distal.registry import get_registry, launch
+from repro.numeric.array import ndarray
+
+
+class ell_matrix(spmatrix):
+    """ELL-format matrix: (n, K) padded data/cols plus row lengths."""
+
+    format = "ell"
+
+    def __init__(self, arg1, shape=None, dtype=None):
+        from repro.core.csr import csr_matrix
+
+        if isinstance(arg1, ell_matrix):
+            src = arg1
+        elif isinstance(arg1, spmatrix):
+            src = arg1.toell()
+        else:
+            src = csr_matrix(arg1, shape=shape, dtype=dtype).toell()
+        spmatrix.__init__(self, src.shape, dtype or src.dtype)
+        self.data_store = (
+            src.data_store
+            if src.dtype == self._dtype
+            else ndarray(src.data_store).astype(self._dtype).store
+        )
+        self.cols_store = src.cols_store
+        self.rowlen_store = src.rowlen_store
+        self._nnz = src._nnz
+
+    @classmethod
+    def _from_stores(cls, data, cols, rowlen, shape) -> "ell_matrix":
+        obj = cls.__new__(cls)
+        spmatrix.__init__(obj, shape, data.dtype)
+        obj.data_store = data
+        obj.cols_store = cols
+        obj.rowlen_store = rowlen
+        obj._nnz = None
+        obj._validate()
+        return obj
+
+    def _validate(self) -> None:
+        if not self._runtime.config.validate:
+            return
+        self._runtime.barrier()
+        validation.check_ell_host(
+            self.data_store.data,
+            self.cols_store.data,
+            self.rowlen_store.data,
+            self.shape,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored (unpadded) entries."""
+        if self._nnz is None:
+            self._runtime.barrier()
+            self._nnz = int(self.rowlen_store.data.sum())
+        return self._nnz
+
+    @property
+    def width(self) -> int:
+        """The padded lane count K."""
+        return self.data_store.shape[1]
+
+    @property
+    def data(self) -> ndarray:
+        """The (n, K) padded value store as a dense array (shared)."""
+        return ndarray(self.data_store)
+
+    def _proc_kind(self):
+        return self._runtime.scope.kind
+
+    # ------------------------------------------------------------------
+    def _matvec(self, x: ndarray) -> ndarray:
+        out_dtype = np.result_type(self.dtype, x.dtype)
+        data_store = self.data_store
+        if out_dtype != self.dtype:
+            data_store = ndarray(self.data_store).astype(out_dtype).store
+        y = rnp.empty(self.shape[0], dtype=out_dtype)
+        spec = get_registry().get("y(i)=A(i,j)*x(j)", ELL, self._proc_kind())
+        launch(
+            spec,
+            self._runtime,
+            {
+                "y": y.store,
+                "data": data_store,
+                "cols": self.cols_store,
+                "rowlen": self.rowlen_store,
+                "x": x.store,
+            },
+        )
+        return y
+
+    def _rmatvec(self, x: ndarray) -> ndarray:
+        return self.tocsr()._rmatvec(x)
+
+    def _matmat(self, X: ndarray) -> ndarray:
+        return self.tocsr()._matmat(X)
+
+    # ------------------------------------------------------------------
+    def tocsr(self):
+        """Distributed unpadding back to CSR."""
+        from repro.core.convert import ell_to_csr
+
+        result = ell_to_csr(self)
+        self._note_convert("csr", result)
+        return result
+
+    def tocoo(self):
+        """Convert through CSR."""
+        return self.tocsr().tocoo()
+
+    def toell(self) -> "ell_matrix":
+        """Identity."""
+        return self
+
+    def transpose(self):
+        """Transpose through CSR."""
+        return self.tocsr().transpose()
+
+    # ------------------------------------------------------------------
+    def _with_data(self, data: ndarray) -> "ell_matrix":
+        obj = ell_matrix.__new__(ell_matrix)
+        spmatrix.__init__(obj, self.shape, data.dtype)
+        obj.data_store = data.store
+        obj.cols_store = self.cols_store
+        obj.rowlen_store = self.rowlen_store
+        obj._nnz = self._nnz
+        return obj
+
+    def _scale(self, alpha) -> "ell_matrix":
+        return self._with_data(self.data * alpha)
+
+    def _unary_values(self, fn) -> "ell_matrix":
+        return self._with_data(fn(self.data))
+
+    def copy(self) -> "ell_matrix":
+        """A value-copying duplicate sharing structure."""
+        return self._with_data(self.data.copy())
+
+    def astype(self, dtype) -> "ell_matrix":
+        """A cast copy of the padded values (structure shared)."""
+        return self._with_data(self.data.astype(dtype))
+
+    def conj(self) -> "ell_matrix":
+        """Complex conjugate of the values."""
+        if self.dtype.kind != "c":
+            return self.copy()
+        return self._with_data(self.data.conj())
+
+    conjugate = conj
+
+
+ell_array = ell_matrix

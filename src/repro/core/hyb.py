@@ -1,0 +1,214 @@
+"""HYB matrices: an ELL part for the common rows plus a CSR-style spill.
+
+Storage layout: the first ``min(len, K)`` entries of every row live in
+``(n, K)`` padded ``data``/``cols`` lanes (``K`` is a quantile of the
+nonzero row-length distribution, :func:`~repro.analysis.formatsel.hyb_ell_width`);
+the overflow goes to compressed ``spill_pos``/``spill_crd``/``spill_vals``
+regions.  ``rowlen`` holds *full* row lengths.  Both halves keep
+ascending-column order, so interleaving them per row rebuilds the exact
+CSR contribution stream and the generated SpMV stays bitwise identical
+to CSR execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+import repro.numeric as rnp
+from repro.core import validation
+from repro.core.base import spmatrix
+from repro.distal.formats import HYB
+from repro.distal.registry import get_registry, launch
+from repro.numeric.array import ndarray
+
+
+class hyb_matrix(spmatrix):
+    """HYB-format matrix: padded ELL part plus compressed spill."""
+
+    format = "hyb"
+
+    def __init__(self, arg1, shape=None, dtype=None,
+                 quantile: Optional[float] = None):
+        from repro.core.csr import csr_matrix
+
+        if isinstance(arg1, hyb_matrix) and quantile is None:
+            src = arg1
+        elif isinstance(arg1, spmatrix):
+            src = arg1.tohyb(quantile=quantile)
+        else:
+            src = csr_matrix(arg1, shape=shape, dtype=dtype).tohyb(
+                quantile=quantile
+            )
+        spmatrix.__init__(self, src.shape, dtype or src.dtype)
+        if src.dtype == self._dtype:
+            self.data_store = src.data_store
+            self.spill_vals_store = src.spill_vals_store
+        else:
+            self.data_store = ndarray(src.data_store).astype(self._dtype).store
+            self.spill_vals_store = (
+                ndarray(src.spill_vals_store).astype(self._dtype).store
+            )
+        self.cols_store = src.cols_store
+        self.rowlen_store = src.rowlen_store
+        self.spill_pos_store = src.spill_pos_store
+        self.spill_crd_store = src.spill_crd_store
+        self._nnz = src._nnz
+
+    @classmethod
+    def _from_stores(
+        cls, data, cols, rowlen, spill_pos, spill_crd, spill_vals, shape
+    ) -> "hyb_matrix":
+        obj = cls.__new__(cls)
+        spmatrix.__init__(obj, shape, data.dtype)
+        obj.data_store = data
+        obj.cols_store = cols
+        obj.rowlen_store = rowlen
+        obj.spill_pos_store = spill_pos
+        obj.spill_crd_store = spill_crd
+        obj.spill_vals_store = spill_vals
+        obj._nnz = None
+        obj._validate()
+        return obj
+
+    def _validate(self) -> None:
+        if not self._runtime.config.validate:
+            return
+        self._runtime.barrier()
+        validation.check_hyb_host(
+            self.data_store.data,
+            self.cols_store.data,
+            self.rowlen_store.data,
+            self.spill_pos_store.data,
+            self.spill_crd_store.data,
+            self.spill_vals_store.data,
+            self.shape,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (ELL part plus spill)."""
+        if self._nnz is None:
+            self._runtime.barrier()
+            self._nnz = int(self.rowlen_store.data.sum())
+        return self._nnz
+
+    @property
+    def width(self) -> int:
+        """The ELL-part lane count K."""
+        return self.data_store.shape[1]
+
+    @property
+    def spill_nnz(self) -> int:
+        """Entries stored in the compressed spill."""
+        return self.spill_crd_store.shape[0]
+
+    @property
+    def data(self) -> ndarray:
+        """The (n, K) ELL-part value store as a dense array (shared)."""
+        return ndarray(self.data_store)
+
+    @property
+    def spill_data(self) -> ndarray:
+        """The spill value store as a dense array (shared)."""
+        return ndarray(self.spill_vals_store)
+
+    def _proc_kind(self):
+        return self._runtime.scope.kind
+
+    # ------------------------------------------------------------------
+    def _matvec(self, x: ndarray) -> ndarray:
+        out_dtype = np.result_type(self.dtype, x.dtype)
+        data_store = self.data_store
+        spill_vals = self.spill_vals_store
+        if out_dtype != self.dtype:
+            data_store = ndarray(self.data_store).astype(out_dtype).store
+            spill_vals = ndarray(self.spill_vals_store).astype(out_dtype).store
+        y = rnp.empty(self.shape[0], dtype=out_dtype)
+        spec = get_registry().get("y(i)=A(i,j)*x(j)", HYB, self._proc_kind())
+        launch(
+            spec,
+            self._runtime,
+            {
+                "y": y.store,
+                "data": data_store,
+                "cols": self.cols_store,
+                "rowlen": self.rowlen_store,
+                "spill_pos": self.spill_pos_store,
+                "spill_crd": self.spill_crd_store,
+                "spill_vals": spill_vals,
+                "x": x.store,
+            },
+        )
+        return y
+
+    def _rmatvec(self, x: ndarray) -> ndarray:
+        return self.tocsr()._rmatvec(x)
+
+    def _matmat(self, X: ndarray) -> ndarray:
+        return self.tocsr()._matmat(X)
+
+    # ------------------------------------------------------------------
+    def tocsr(self):
+        """Distributed interleave back to CSR."""
+        from repro.core.convert import hyb_to_csr
+
+        result = hyb_to_csr(self)
+        self._note_convert("csr", result)
+        return result
+
+    def tocoo(self):
+        """Convert through CSR."""
+        return self.tocsr().tocoo()
+
+    def tohyb(self, quantile: Optional[float] = None) -> "hyb_matrix":
+        """Identity unless re-split at a different quantile."""
+        if quantile is None:
+            return self
+        return self.tocsr().tohyb(quantile=quantile)
+
+    def transpose(self):
+        """Transpose through CSR."""
+        return self.tocsr().transpose()
+
+    # ------------------------------------------------------------------
+    def _with_values(self, data: ndarray, spill: ndarray) -> "hyb_matrix":
+        obj = hyb_matrix.__new__(hyb_matrix)
+        spmatrix.__init__(obj, self.shape, data.dtype)
+        obj.data_store = data.store
+        obj.cols_store = self.cols_store
+        obj.rowlen_store = self.rowlen_store
+        obj.spill_pos_store = self.spill_pos_store
+        obj.spill_crd_store = self.spill_crd_store
+        obj.spill_vals_store = spill.store
+        obj._nnz = self._nnz
+        return obj
+
+    def _scale(self, alpha) -> "hyb_matrix":
+        return self._with_values(self.data * alpha, self.spill_data * alpha)
+
+    def _unary_values(self, fn) -> "hyb_matrix":
+        return self._with_values(fn(self.data), fn(self.spill_data))
+
+    def copy(self) -> "hyb_matrix":
+        """A value-copying duplicate sharing structure."""
+        return self._with_values(self.data.copy(), self.spill_data.copy())
+
+    def astype(self, dtype) -> "hyb_matrix":
+        """A cast copy of both value halves (structure shared)."""
+        return self._with_values(
+            self.data.astype(dtype), self.spill_data.astype(dtype)
+        )
+
+    def conj(self) -> "hyb_matrix":
+        """Complex conjugate of the values."""
+        if self.dtype.kind != "c":
+            return self.copy()
+        return self._with_values(self.data.conj(), self.spill_data.conj())
+
+    conjugate = conj
+
+
+hyb_array = hyb_matrix

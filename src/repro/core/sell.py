@@ -1,0 +1,237 @@
+"""SELL-C-sigma matrices: sliced ELL with sigma-window row sorting.
+
+Storage layout: ``data`` and ``cols`` are packed 1-D regions holding
+C-row slices padded to each slice's own maximum length; per-*slot*
+metadata (``perm``, ``rowlen``, ``start``, ``stride``) locates every
+row's lane stream at ``start + k * stride``.  Sorting windows (sigma)
+and slices (C) are clipped to the runtime's row-tile boundaries, so each
+tile permutes onto itself and packed slices never cross shards — the
+kernel re-sorts its slots back to ascending original row and is bitwise
+identical to CSR execution.  The :class:`~repro.analysis.formatsel.SellLayout`
+computed at conversion time travels with the matrix so launches can
+supply the matching explicit partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+import repro.numeric as rnp
+from repro.core import validation
+from repro.core.base import spmatrix
+from repro.distal.formats import SELL
+from repro.distal.registry import get_registry, launch
+from repro.geometry import Rect
+from repro.legion.partition import ExplicitPartition
+from repro.numeric.array import ndarray
+
+
+class sell_matrix(spmatrix):
+    """SELL-C-sigma matrix: packed slices plus slot metadata."""
+
+    format = "sell"
+
+    def __init__(self, arg1, shape=None, dtype=None,
+                 c: Optional[int] = None, sigma: Optional[int] = None):
+        from repro.core.csr import csr_matrix
+
+        if isinstance(arg1, sell_matrix) and c is None and sigma is None:
+            src = arg1
+        elif isinstance(arg1, spmatrix):
+            src = arg1.tosell(c=c, sigma=sigma)
+        else:
+            src = csr_matrix(arg1, shape=shape, dtype=dtype).tosell(
+                c=c, sigma=sigma
+            )
+        spmatrix.__init__(self, src.shape, dtype or src.dtype)
+        self.data_store = (
+            src.data_store
+            if src.dtype == self._dtype
+            else ndarray(src.data_store).astype(self._dtype).store
+        )
+        self.cols_store = src.cols_store
+        self.perm_store = src.perm_store
+        self.rowlen_store = src.rowlen_store
+        self.start_store = src.start_store
+        self.stride_store = src.stride_store
+        self._layout = src._layout
+        self._nnz = src._nnz
+
+    @classmethod
+    def _from_stores(
+        cls, data, cols, perm, rowlen, start, stride, shape,
+        *, c: int, sigma: int, layout,
+    ) -> "sell_matrix":
+        obj = cls.__new__(cls)
+        spmatrix.__init__(obj, shape, data.dtype)
+        obj.data_store = data
+        obj.cols_store = cols
+        obj.perm_store = perm
+        obj.rowlen_store = rowlen
+        obj.start_store = start
+        obj.stride_store = stride
+        obj._layout = layout
+        obj._nnz = None
+        obj._validate()
+        return obj
+
+    def _validate(self) -> None:
+        if not self._runtime.config.validate:
+            return
+        self._runtime.barrier()
+        validation.check_sell_host(
+            self.data_store.data,
+            self.cols_store.data,
+            self.perm_store.data,
+            self.rowlen_store.data,
+            self.start_store.data,
+            self.stride_store.data,
+            self.shape,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored (unpadded) entries."""
+        if self._nnz is None:
+            self._runtime.barrier()
+            self._nnz = int(self.rowlen_store.data.sum())
+        return self._nnz
+
+    @property
+    def c(self) -> int:
+        """Slice height C."""
+        return self._layout.c
+
+    @property
+    def sigma(self) -> int:
+        """Sorting-window extent sigma."""
+        return self._layout.sigma
+
+    @property
+    def layout(self):
+        """The conversion-time :class:`SellLayout` (tile/slice geometry)."""
+        return self._layout
+
+    @property
+    def data(self) -> ndarray:
+        """The packed value store as a dense array (shared)."""
+        return ndarray(self.data_store)
+
+    def _proc_kind(self):
+        return self._runtime.scope.kind
+
+    def _partitions(self, y_store, data_store):
+        """Explicit partitions matching the conversion-time layout."""
+        layout = self._layout
+        row_rects = [
+            Rect((layout.boundaries[t],), (layout.boundaries[t + 1],))
+            for t in range(len(layout.boundaries) - 1)
+        ]
+        pack_rects = [Rect((lo,), (hi,)) for lo, hi in layout.tile_ranges]
+        return {
+            "y": ExplicitPartition(y_store.region, row_rects),
+            "perm": ExplicitPartition(self.perm_store.region, row_rects),
+            "rowlen": ExplicitPartition(self.rowlen_store.region, row_rects),
+            "start": ExplicitPartition(self.start_store.region, row_rects),
+            "stride": ExplicitPartition(self.stride_store.region, row_rects),
+            "data": ExplicitPartition(data_store.region, pack_rects),
+            "cols": ExplicitPartition(self.cols_store.region, pack_rects),
+        }
+
+    # ------------------------------------------------------------------
+    def _matvec(self, x: ndarray) -> ndarray:
+        out_dtype = np.result_type(self.dtype, x.dtype)
+        data_store = self.data_store
+        if out_dtype != self.dtype:
+            data_store = ndarray(self.data_store).astype(out_dtype).store
+        y = rnp.empty(self.shape[0], dtype=out_dtype)
+        spec = get_registry().get("y(i)=A(i,j)*x(j)", SELL, self._proc_kind())
+        launch(
+            spec,
+            self._runtime,
+            {
+                "y": y.store,
+                "data": data_store,
+                "cols": self.cols_store,
+                "perm": self.perm_store,
+                "rowlen": self.rowlen_store,
+                "start": self.start_store,
+                "stride": self.stride_store,
+                "x": x.store,
+            },
+            explicit_partitions=self._partitions(y.store, data_store),
+            scalars={"C": self._layout.c},
+        )
+        return y
+
+    def _rmatvec(self, x: ndarray) -> ndarray:
+        return self.tocsr()._rmatvec(x)
+
+    def _matmat(self, X: ndarray) -> ndarray:
+        return self.tocsr()._matmat(X)
+
+    # ------------------------------------------------------------------
+    def tocsr(self):
+        """Distributed unpack back to CSR (slot permutation undone)."""
+        from repro.core.convert import sell_to_csr
+
+        result = sell_to_csr(self)
+        self._note_convert("csr", result)
+        return result
+
+    def tocoo(self):
+        """Convert through CSR."""
+        return self.tocsr().tocoo()
+
+    def tosell(self, c: Optional[int] = None,
+               sigma: Optional[int] = None) -> "sell_matrix":
+        """Identity unless re-sliced with different (C, sigma)."""
+        if (c is None or c == self.c) and (sigma is None or sigma == self.sigma):
+            return self
+        return self.tocsr().tosell(c=c, sigma=sigma)
+
+    def transpose(self):
+        """Transpose through CSR."""
+        return self.tocsr().transpose()
+
+    # ------------------------------------------------------------------
+    def _with_data(self, data: ndarray) -> "sell_matrix":
+        obj = sell_matrix.__new__(sell_matrix)
+        spmatrix.__init__(obj, self.shape, data.dtype)
+        obj.data_store = data.store
+        obj.cols_store = self.cols_store
+        obj.perm_store = self.perm_store
+        obj.rowlen_store = self.rowlen_store
+        obj.start_store = self.start_store
+        obj.stride_store = self.stride_store
+        obj._layout = self._layout
+        obj._nnz = self._nnz
+        return obj
+
+    def _scale(self, alpha) -> "sell_matrix":
+        return self._with_data(self.data * alpha)
+
+    def _unary_values(self, fn) -> "sell_matrix":
+        return self._with_data(fn(self.data))
+
+    def copy(self) -> "sell_matrix":
+        """A value-copying duplicate sharing structure."""
+        return self._with_data(self.data.copy())
+
+    def astype(self, dtype) -> "sell_matrix":
+        """A cast copy of the packed values (structure shared)."""
+        return self._with_data(self.data.astype(dtype))
+
+    def conj(self) -> "sell_matrix":
+        """Complex conjugate of the values."""
+        if self.dtype.kind != "c":
+            return self.copy()
+        return self._with_data(self.data.conj())
+
+    conjugate = conj
+
+
+sell_array = sell_matrix

@@ -60,6 +60,9 @@ def paper_legate(**kwargs):
 
     kwargs.setdefault("fusion", False)
     kwargs.setdefault("spill", False)
+    # The paper's system speaks CSR/COO only; auto-format selection is
+    # this reproduction's extension and must not touch published figures.
+    kwargs["autoformat"] = False
     return RuntimeConfig.legate(**kwargs)
 
 

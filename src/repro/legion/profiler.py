@@ -33,6 +33,10 @@ class Profiler:
     tasks_fused_away: int = 0
     regions_elided: int = 0
     launch_overhead_seconds: float = 0.0
+    # Modeled kernel execution time summed over every shard (the format
+    # selector's ``total_seconds`` replays exactly this accumulation;
+    # the agreement test in tests/analysis diffs the two).
+    kernel_seconds: float = 0.0
     # Resilience (repro.legion.chaos): injected faults by kind
     # ("copy", "alloc", "gpu-loss", "node-loss"), retries performed,
     # simulated backoff time, spill-policy evictions/spills, checkpoint

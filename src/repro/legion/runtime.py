@@ -117,6 +117,13 @@ class RuntimeConfig:
     # differently: a 2-D grid's halo grows with sqrt(N), a banded
     # matrix's halo not at all, the quantum Hamiltonian's with N.
     comm_scale: float | None = None
+    # Automatic format selection (repro.analysis.formatsel): at a CSR
+    # matrix's first SpMV, replay the static format selector against
+    # the machine model and convert the operand to the modeled-best
+    # bitwise-safe format (ELL / SELL-C-sigma / HYB).  Off by default
+    # and forced off under harness.config.paper_legate — the paper's
+    # system speaks CSR/COO only, so published figures are unchanged.
+    autoformat: bool = False
     # Validation mode (repro.analysis): record an event log of every
     # launch/shard/copy/fold, sanitize kernel arguments (read-only READ
     # views, NaN-poisoned WRITE_DISCARD rects) and assert reads are
@@ -269,6 +276,11 @@ class Runtime:
         # number of elided temporaries).  The advisor's capture-
         # alongside agreement test compares its predictions to this.
         self.fusion_log: List[Tuple[Tuple[str, ...], int]] = []
+        # Every runtime auto-format conversion, in order (see
+        # RuntimeConfig.autoformat and csr_matrix._autoformat_alt).
+        # The advisor agreement test compares its (rows, nnz, dst_fmt)
+        # entries against ``advise --autoformat`` predictions.
+        self.autoformat_log: List[dict] = []
         self.machine.reset_channels()
         # Host staging memory: node-0 system memory.
         self._host_memory = next(
@@ -724,6 +736,7 @@ class Runtime:
                     > self.config.memory_pressure_threshold
                 ):
                     exec_time *= self.config.memory_pressure_slowdown
+            self.profiler.kernel_seconds += exec_time
             start = t_input
             finish = start + exec_time
             self._proc_busy[proc.uid] = finish

@@ -48,8 +48,9 @@ class TestInventoryIsHonest:
 
     def test_generated_statement_count(self):
         """The paper generates 14 functions with DISTAL; we generate one
-        kernel per (statement, format) pair — 10 dispatch targets across
-        8 statements and 3 sparse formats."""
+        kernel per (statement, format) pair — 14 dispatch targets across
+        8 statements and 7 sparse formats (csr, coo, dia, bsr, ell,
+        sell, hyb)."""
         assert len(supported_statements()) == len(coverage.GENERATED)
 
     def test_kernels_actually_generate(self, rt):
@@ -87,9 +88,24 @@ class TestInventoryIsHonest:
         rows = coverage.inventory()
         assert len(rows) == coverage.implemented_count()
         for row in rows:
-            assert set(row) == {"name", "strategy", "advisor"}
+            assert set(row) == {"name", "strategy", "advisor", "formats"}
             assert row["strategy"] in {"generated", "ported", "handwritten"}
             assert isinstance(row["advisor"], bool)
+            assert isinstance(row["formats"], list) and row["formats"]
+
+    def test_inventory_formats_column(self):
+        """The formats column reflects naming conventions, including
+        the auto-format additions (ell / sell / hyb)."""
+        by_name = {row["name"]: row["formats"] for row in coverage.inventory()}
+        assert by_name["csr_matvec"] == ["csr"]
+        assert by_name["ell_matvec"] == ["ell"]
+        assert by_name["sell_matvec"] == ["sell"]
+        assert by_name["hyb_matvec"] == ["hyb"]
+        assert by_name["tosell"] == ["sell"]
+        assert by_name["csr_to_csc_sort"] == ["csr", "csc"]
+        assert by_name["linalg.cg"] == ["any"]
+        for fmt in ("ell", "sell", "hyb"):
+            assert by_name[f"{fmt}_matrix"] == [fmt]
 
     def test_every_generated_kernel_has_cost_model(self):
         """The advisor's model registry is total over GENERATED: every
