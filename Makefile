@@ -1,7 +1,8 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test validate check lint advise autoformat bench chaos profile
+.PHONY: test validate check lint advise autoformat bench chaos profile \
+	kernel-fusion
 
 test:
 	python -m pytest -x -q
@@ -29,8 +30,18 @@ advise:
 autoformat:
 	python -m repro.analysis advise examples/format_advisor_demo.py --autoformat
 
-# Fusion benchmark: fused vs unfused CG + GMG, writes BENCH_fusion.json
-# and fails if fusion saves < 30% of launches or changes any bit.
+# Kernel-fusion demo: runs a CG solve with merged loop nests on and off
+# (bitwise-identical by construction) and prints the per-group merge
+# verdicts from the dependence analyzer, then the static advisor, whose
+# window simulation carries the same verdicts as kernel-merge findings.
+kernel-fusion:
+	python examples/kernel_fusion_demo.py
+	python -m repro.analysis advise examples/advisor_demo.py -- --maxiter 2
+
+# Fusion benchmark: merged vs replay vs unfused CG + GMG, writes
+# BENCH_fusion.json and fails if fusion saves < 30% of launches, if no
+# merge-safe group runs as a single loop nest with strictly lower
+# modeled compute than replay, or if any bit changes.
 # Format benchmark: CSR vs the advised format on a power-law skew SpMV,
 # writes BENCH_format.json and fails unless the advised run charges
 # strictly less modeled compute with bitwise-identical results.

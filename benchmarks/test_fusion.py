@@ -1,10 +1,14 @@
-"""Benchmark: automatic task fusion removes launch overhead (paper §6.1).
+"""Benchmark: task and kernel fusion remove launch and compute overhead.
 
 The paper names task fusion (with tracing) as the fix for Legate's
-launch-overhead-bound losses on small-task workloads.  With the
+launch-overhead-bound losses on small-task workloads (§6.1).  With the
 deferred fusion window implemented, the overhead-bound CG and GMG
 solver loops launch >= 30 % fewer tasks and charge strictly less
-modeled issue-clock overhead — with bitwise-identical numerics.
+modeled issue-clock overhead.  On top of that, merge-safe fused groups
+execute as ONE generated loop nest (kernel fusion): intermediates stay
+in nest values, shared operands are read once, and merged modeled
+compute lands strictly below issue-order replay of the same groups —
+all with bitwise-identical numerics across the three modes.
 """
 
 from repro.harness.fusion_bench import bench_cg, bench_gmg
@@ -12,7 +16,7 @@ from repro.harness.fusion_bench import bench_cg, bench_gmg
 MIN_LAUNCHES_SAVED = 0.30
 
 
-def _assert_pair(fused: dict, unfused: dict) -> None:
+def _assert_triple(fused: dict, replay: dict, unfused: dict) -> None:
     saved = 1.0 - fused["tasks_launched"] / unfused["tasks_launched"]
     assert saved >= MIN_LAUNCHES_SAVED, (
         f"only {100 * saved:.1f}% launches saved"
@@ -22,36 +26,55 @@ def _assert_pair(fused: dict, unfused: dict) -> None:
         < unfused["modeled_launch_overhead_s"]
     )
     assert fused["modeled_time_s"] < unfused["modeled_time_s"]
-    assert fused["solution_sha256"] == unfused["solution_sha256"]
     assert fused["fused_tasks"] > 0
     assert fused["regions_elided"] > 0
+    # Kernel fusion: at least one group was proved merge-safe and ran
+    # as a single nest, and merging strictly beat issue-order replay
+    # on modeled compute (deduplicated reads, eliminated temporaries).
+    assert fused["kernel_merges"] >= 1
+    assert replay["kernel_merges"] == 0
+    assert fused["modeled_compute_s"] < replay["modeled_compute_s"]
+    # Bitwise identity across all three execution strategies.
+    assert (
+        fused["solution_sha256"]
+        == replay["solution_sha256"]
+        == unfused["solution_sha256"]
+    )
 
 
 def test_fig9_cg_fusion(benchmark):
     fused = benchmark.pedantic(
-        lambda: bench_cg(fusion=True), rounds=1, iterations=1
+        lambda: bench_cg(fusion=True, kernel_fusion=True),
+        rounds=1, iterations=1,
     )
+    replay = bench_cg(fusion=True, kernel_fusion=False)
     unfused = bench_cg(fusion=False)
     saved = 1.0 - fused["tasks_launched"] / unfused["tasks_launched"]
     print(
         f"\nCG: {unfused['tasks_launched']} -> {fused['tasks_launched']} "
         f"launches ({100 * saved:.1f}% saved), overhead "
         f"{unfused['modeled_launch_overhead_s'] * 1e3:.2f} -> "
-        f"{fused['modeled_launch_overhead_s'] * 1e3:.2f} ms"
+        f"{fused['modeled_launch_overhead_s'] * 1e3:.2f} ms, compute "
+        f"{replay['modeled_compute_s'] * 1e3:.2f} -> "
+        f"{fused['modeled_compute_s'] * 1e3:.2f} ms"
     )
-    _assert_pair(fused, unfused)
+    _assert_triple(fused, replay, unfused)
 
 
 def test_fig10_gmg_fusion(benchmark):
     fused = benchmark.pedantic(
-        lambda: bench_gmg(fusion=True), rounds=1, iterations=1
+        lambda: bench_gmg(fusion=True, kernel_fusion=True),
+        rounds=1, iterations=1,
     )
+    replay = bench_gmg(fusion=True, kernel_fusion=False)
     unfused = bench_gmg(fusion=False)
     saved = 1.0 - fused["tasks_launched"] / unfused["tasks_launched"]
     print(
         f"\nGMG: {unfused['tasks_launched']} -> {fused['tasks_launched']} "
         f"launches ({100 * saved:.1f}% saved), overhead "
         f"{unfused['modeled_launch_overhead_s'] * 1e3:.2f} -> "
-        f"{fused['modeled_launch_overhead_s'] * 1e3:.2f} ms"
+        f"{fused['modeled_launch_overhead_s'] * 1e3:.2f} ms, compute "
+        f"{replay['modeled_compute_s'] * 1e3:.2f} -> "
+        f"{fused['modeled_compute_s'] * 1e3:.2f} ms"
     )
-    _assert_pair(fused, unfused)
+    _assert_triple(fused, replay, unfused)

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Fusion benchmark driver: writes ``BENCH_fusion.json``.
 
-Runs the Fig. 9 CG and Fig. 10 GMG solver loops with the deferred
-fusion window on and off (``repro.harness.fusion_bench``), prints a
-summary table, writes the full payload to ``BENCH_fusion.json`` (repo
-root, or ``--output``), and exits non-zero if any acceptance bar fails:
+Runs the Fig. 9 CG and Fig. 10 GMG solver loops in three modes —
+merged (window + kernel fusion), replay (window only) and unfused
+(``repro.harness.fusion_bench``) — prints a summary table, writes the
+full payload to ``BENCH_fusion.json`` (repo root, or ``--output``),
+and exits non-zero if any acceptance bar fails:
 
 * >= 30 % fewer launches with fusion on, per workload;
 * strictly lower modeled issue-clock launch overhead;
-* bitwise-identical solution vectors.
+* at least one merge-safe group executed as a single loop nest, with
+  merged modeled compute strictly below issue-order replay;
+* bitwise-identical solution vectors across all three modes.
 
 Usage::
 
@@ -28,7 +31,7 @@ MIN_LAUNCHES_SAVED = 0.30
 
 
 def format_pair(key: str, pair: dict) -> str:
-    fused, unfused = pair["fused"], pair["unfused"]
+    fused, replay, unfused = pair["fused"], pair["replay"], pair["unfused"]
     return "\n".join(
         [
             f"{key}:",
@@ -39,9 +42,18 @@ def format_pair(key: str, pair: dict) -> str:
             f"{fused['modeled_launch_overhead_s']:.6f}s (modeled)",
             f"  modeled time:    {unfused['modeled_time_s']:.6f}s -> "
             f"{fused['modeled_time_s']:.6f}s",
+            f"  modeled compute: {replay['modeled_compute_s']:.6f}s (replay) "
+            f"-> {fused['modeled_compute_s']:.6f}s (merged, "
+            f"x{pair['compute_ratio']:.3f})",
             f"  fused groups:    {fused['fused_tasks']} "
             f"({fused['tasks_fused_away']} launches merged, "
             f"{fused['regions_elided']} temporaries elided)",
+            f"  kernel fusion:   {fused['kernel_merges']} merged loop nests "
+            f"({fused['nest_temps_eliminated']} temporaries never "
+            f"materialized)",
+            f"  host wall clock: unfused {unfused['host_wall_clock_s']:.3f}s, "
+            f"replay {replay['host_wall_clock_s']:.3f}s, "
+            f"merged {fused['host_wall_clock_s']:.3f}s",
             f"  bitwise match:   {pair['bitwise_identical']}",
         ]
     )
@@ -72,6 +84,12 @@ def main(argv=None) -> int:
             )
         if pair["overhead_ratio"] >= 1.0:
             failures.append(f"{key}: launch overhead did not drop")
+        if pair["fused"]["kernel_merges"] < 1:
+            failures.append(f"{key}: no merge-safe group executed as a nest")
+        if pair["compute_ratio"] >= 1.0:
+            failures.append(
+                f"{key}: merged modeled compute did not drop below replay"
+            )
         if not pair["bitwise_identical"]:
             failures.append(f"{key}: fused result is not bitwise identical")
     print(f"wrote {args.output}")

@@ -33,6 +33,31 @@ REPRO_VALIDATE=1 python -m pytest -x -q \
 echo "== fusion bench smoke (fused vs unfused, writes BENCH_fusion.json) =="
 python scripts/bench.py --output BENCH_fusion.json > /dev/null
 
+echo "== kernel fusion smoke (merge verdicts + BENCH_fusion.json payload) =="
+# The demo proves at least one merge-safe group executes as one loop
+# nest with bitwise-identical results (it exits non-zero otherwise).
+python examples/kernel_fusion_demo.py --k 12 --maxiter 2 > /dev/null
+# The static advisor must carry the same merge verdicts.
+python -m repro.analysis advise examples/advisor_demo.py \
+    -- --maxiter 2 | grep -q "kernel-merge-applied" || {
+    echo "advisor produced no kernel-merge-applied verdict" >&2
+    exit 1
+}
+# The bench payload must record merged nests beating issue-order replay
+# on modeled compute, bitwise-identically, for both figures.
+python - <<'PYEOF'
+import json
+with open("BENCH_fusion.json") as fh:
+    payload = json.load(fh)
+for key in ("fig9_cg", "fig10_gmg"):
+    pair = payload[key]
+    assert pair["fused"]["kernel_merges"] >= 1, f"{key}: no merged nests"
+    assert pair["replay"]["kernel_merges"] == 0, f"{key}: replay run merged"
+    assert pair["compute_ratio"] < 1.0, f"{key}: modeled compute did not drop"
+    assert pair["bitwise_identical"], f"{key}: bitwise mismatch"
+print("BENCH_fusion kernel-fusion payload OK")
+PYEOF
+
 echo "== chaos bench smoke (fault schedules vs baseline, writes BENCH_chaos.json) =="
 python scripts/chaos.py --output BENCH_chaos.json > /dev/null
 

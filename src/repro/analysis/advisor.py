@@ -42,6 +42,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis import depend
 from repro.analysis.costmodel import for_task_name
 from repro.analysis.events import EventLog, ReqAccess
 from repro.analysis.formatsel import FormatAdvice, advise_formats
@@ -167,11 +168,13 @@ class Advice:
     # against a real run's recorded log).
     predicted: EventLog = field(default_factory=EventLog)
     # Predicted fusion groups, in execution order: (sub-launch names,
-    # elided temporaries) per group the runtime's deferred window will
-    # form.  Empty when the analyzed config has fusion disabled.  The
-    # fusion agreement test compares this against ``Runtime.fusion_log``
-    # entry for entry.
-    fusion_groups: List[Tuple[Tuple[str, ...], int]] = field(
+    # elided temporaries, kernel-fusion verdict label) per group the
+    # runtime's deferred window will form.  The label is
+    # ``repro.analysis.depend.verdict_label`` — "single", "merged" or
+    # "replay:<reason>".  Empty when the analyzed config has fusion
+    # disabled.  The fusion agreement test compares this against
+    # ``Runtime.fusion_log`` entry for entry.
+    fusion_groups: List[Tuple[Tuple[str, ...], int, str]] = field(
         default_factory=list
     )
     # Ranked per-operand format recommendations from the static
@@ -227,8 +230,8 @@ class Advice:
             "est_copy_seconds": self.est_copy_seconds,
             "comm_scale": self.comm_scale,
             "fusion_groups": [
-                {"names": list(names), "elided": elided}
-                for names, elided in self.fusion_groups
+                {"names": list(names), "elided": elided, "verdict": verdict}
+                for names, elided, verdict in self.fusion_groups
             ],
             "format_advice": [fa.to_dict() for fa in self.format_advice],
             "errors": len(self.errors),
@@ -284,12 +287,13 @@ class Advice:
         lines.append("")
         merged = [g for g in self.fusion_groups if len(g[0]) > 1]
         if merged:
-            away = sum(len(names) - 1 for names, _ in merged)
-            elided = sum(e for _, e in merged)
+            away = sum(len(names) - 1 for names, _, _ in merged)
+            elided = sum(e for _, e, _ in merged)
+            nests = sum(1 for _, _, v in merged if v == "merged")
             lines.append(
                 f"task fusion: {len(merged)} fused group(s) predicted "
                 f"({away} launches merged away, {elided} temporaries "
-                f"elided)"
+                f"elided; {nests} merge into a single loop nest)"
             )
             lines.append("")
         if self.format_advice:
@@ -403,7 +407,12 @@ class _Predictor:
         # plus its "sync" notes, so predicted groups agree exactly with
         # Runtime.fusion_log.
         self._sim_window: List[fusion.LaunchSummary] = []
-        self.fusion_groups: List[Tuple[Tuple[str, ...], int]] = []
+        self.fusion_groups: List[Tuple[Tuple[str, ...], int, str]] = []
+        # One record per *fused* predicted group, for the kernel-merge
+        # lints: names, verdict label, replay-only reason/detail, and
+        # the modeled compute a merged nest saves (deduplicated reads +
+        # never-rewritten temporaries vs per-kernel accounting).
+        self.merge_reports: List[dict] = []
         self._oom_memories: set = set()
         # memory uid -> estimated scaled bytes the runtime would spill
         # (LRU evictions that relieved a would-be OOM under config.spill).
@@ -507,10 +516,7 @@ class _Predictor:
         summary = fusion.summarize(
             op.name,
             launch_colors,
-            (
-                (region, partition, privilege)
-                for _name, region, partition, privilege in requirements
-            ),
+            requirements,
             pointwise=op.pointwise,
             reduction=op.reduction,
         )
@@ -525,9 +531,66 @@ class _Predictor:
         if not self._sim_window:
             return
         window, self._sim_window = self._sim_window, []
+        local = fusion.local_ids(window)
+        kernel_fusion = bool(getattr(self.config, "kernel_fusion", False))
         for group in fusion.plan_window(window):
             names = tuple(window[i].name for i in group.indices)
-            self.fusion_groups.append((names, len(group.elide)))
+            # The same classifier the runtime's flush runs, on the same
+            # summaries — verdicts agree with Runtime.fusion_log.
+            verdict = depend.classify(window, local, group)
+            label = depend.verdict_label(group, verdict, kernel_fusion)
+            self.fusion_groups.append((names, len(group.elide), label))
+            if group.fused:
+                self.merge_reports.append(
+                    self._merge_report(window, group, verdict, label)
+                )
+
+    def _merge_report(self, window, group, verdict, label) -> dict:
+        """Model what body-merging one fused group saves (or why not).
+
+        Replay charges every sub-kernel's full traffic; a merged nest
+        reads each external operand once and writes each output once,
+        with in-group temporaries flowing as nest values.  The delta —
+        at data scale, over the scope's memory bandwidth — is the
+        modeled compute the ``kernel-merge-applied`` lint reports.
+        """
+        replay_bytes = 0.0
+        merged_bytes = 0.0
+        produced: set = set()
+        counted: set = set()
+        for idx in group.indices:
+            summary = window[idx]
+            for acc in summary.accesses:
+                nbytes = (
+                    acc.region.rect.volume() * acc.region.data.dtype.itemsize
+                )
+                replay_bytes += nbytes
+                uid = acc.region.uid
+                if (
+                    acc.privilege.reads
+                    and uid not in produced
+                    and ("r", uid) not in counted
+                ):
+                    counted.add(("r", uid))
+                    merged_bytes += nbytes
+                if acc.privilege.writes:
+                    if ("w", uid) not in counted:
+                        counted.add(("w", uid))
+                        merged_bytes += nbytes
+                    produced.add(uid)
+        saved = max(replay_bytes - merged_bytes, 0.0)
+        scale = self.config.data_scale
+        seconds = (
+            self.procs[0].kernel_time(0.0, saved * scale) if saved else 0.0
+        )
+        return {
+            "names": tuple(window[i].name for i in group.indices),
+            "label": label,
+            "reason": verdict.reason,
+            "detail": verdict.detail,
+            "saved_bytes": saved,
+            "saved_seconds": seconds,
+        }
 
     def _replay_op(self, op: PlanOp) -> None:
         if op.requirements is not None:
@@ -968,7 +1031,7 @@ def _lint_fusion(predictor: _Predictor) -> None:
     will contain exactly these groups.
     """
     enabled = bool(getattr(predictor.config, "fusion", False))
-    for names, elided in predictor.fusion_groups:
+    for names, elided, _verdict in predictor.fusion_groups:
         if len(names) <= 1:
             continue
         verb = (
@@ -981,6 +1044,36 @@ def _lint_fusion(predictor: _Predictor) -> None:
             f"{len(names)} launches {verb} into one task"
             f"{extra}: {' + '.join(names)}",
         )
+
+
+def _lint_kernel_merge(predictor: _Predictor) -> None:
+    """Report per-group kernel-fusion verdicts from the dependence pass.
+
+    ``kernel-merge-applied`` (info): the group is merge-safe and will
+    execute as one generated loop nest, with the modeled compute the
+    merge saves.  ``kernel-merge-blocked`` (warning): the dependence
+    analyzer proved the group must replay, naming the blocking rule and
+    the concrete launch/edge behind it.  Groups replaying only because
+    ``config.kernel_fusion`` is off are not user-actionable per group
+    and produce no finding.
+    """
+    if not bool(getattr(predictor.config, "kernel_fusion", False)):
+        return
+    for report in predictor.merge_reports:
+        names = " + ".join(report["names"])
+        if report["label"] == "merged":
+            saved = report["saved_seconds"]
+            predictor._finding(
+                "note", "kernel-merge-applied",
+                f"{len(report['names'])} kernels merge into one loop "
+                f"nest ({names}); modeled compute saved: {saved:.3e}s",
+            )
+        elif report["reason"] is not None:
+            predictor._finding(
+                "warning", "kernel-merge-blocked",
+                f"group ({names}) replays sub-kernels: "
+                f"[{report['reason']}] {report['detail']}",
+            )
 
 
 # ----------------------------------------------------------------------
@@ -1077,6 +1170,7 @@ def analyze(
     _lint_restaging(predictor)
     _lint_capacity_pressure(predictor)
     _lint_fusion(predictor)
+    _lint_kernel_merge(predictor)
 
     format_advice: List[FormatAdvice] = []
     if options.autoformat:

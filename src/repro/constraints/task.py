@@ -107,15 +107,28 @@ class AutoTask:
         """Reduce kernel return values into a Future."""
         self._scalar_reduction = op
 
-    def set_pointwise(self, *ops: str) -> None:
+    def set_pointwise(
+        self, *ops: str, expr=None, out: Optional[str] = None, statement=None
+    ) -> None:
         """Mark the task element-wise over aligned operands.
 
         Pointwise tasks are eligible for the runtime's deferred fusion
         window (:mod:`repro.legion.fusion`); ``ops`` names the
         element-wise operations for reporting.  Only set this on kernels
         that touch exactly their shard's rect of every argument.
+
+        ``expr``/``out``/``statement`` optionally expose the kernel
+        body IR (see :class:`~repro.legion.task.Pointwise`) so the
+        dependence analyzer can prove the launch body-mergeable into a
+        single combined loop nest; omitting them keeps the kernel
+        opaque (task-fusible, never body-merged).
         """
-        self._pointwise = Pointwise(tuple(ops))
+        self._pointwise = Pointwise(
+            tuple(ops),
+            expr=tuple(expr) if expr is not None else None,
+            out=out,
+            statement=statement,
+        )
 
     # ------------------------------------------------------------------
     def _check_write_disjointness(self, solution) -> None:

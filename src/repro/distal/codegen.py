@@ -52,11 +52,40 @@ class UnsupportedStatement(NotImplementedError):
 
 _PROLOGUE = "import numpy as np\n\n"
 
+# Compilation is memoized: generated sources recur — format kernels once
+# per (statement, format, kind), merged nests once per window shape —
+# and exec'ing the same text again buys nothing.  Keyed by (name,
+# source); the injected ``env`` is always the same constant table for a
+# given name/source, so it does not key the cache.
+_COMPILE_CACHE: Dict[Tuple[str, str], Dict[str, Callable]] = {}
+_COMPILE_STATS = {"hits": 0, "misses": 0}
 
-def _compile(name: str, source: str) -> Dict[str, Callable]:
-    namespace: Dict[str, object] = {}
+
+def _compile(
+    name: str, source: str, env: Optional[Dict[str, object]] = None
+) -> Dict[str, Callable]:
+    key = (name, source)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        _COMPILE_STATS["hits"] += 1
+        return cached
+    _COMPILE_STATS["misses"] += 1
+    namespace: Dict[str, object] = dict(env or {})
     exec(compile(_PROLOGUE + source, f"<distal:{name}>", "exec"), namespace)
+    _COMPILE_CACHE[key] = namespace
     return namespace  # type: ignore[return-value]
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """A copy of the exec-compilation cache hit/miss counters."""
+    return dict(_COMPILE_STATS)
+
+
+def clear_compile_cache() -> None:
+    """Drop memoized namespaces and zero the counters (tests)."""
+    _COMPILE_CACHE.clear()
+    _COMPILE_STATS["hits"] = 0
+    _COMPILE_STATS["misses"] = 0
 
 
 def _flop_factor() -> str:
@@ -799,3 +828,121 @@ def generate(
     spec.kernel = namespace["kernel"]
     spec.cost = namespace["cost"]
     return spec
+
+
+# ----------------------------------------------------------------------
+# Merged loop nests for merge-safe fused groups (kernel fusion).
+# ----------------------------------------------------------------------
+@dataclass
+class NestSpec:
+    """A combined loop nest for one merge-safe fused group.
+
+    ``kernel``/``cost`` run against the *fused* launch context (mangled
+    ``"<i>.<name>"`` requirement and scalar names, exactly as
+    :func:`repro.legion.fusion.fuse` builds it), so the fused launch
+    swaps them in for its replay closures unchanged.  ``source`` is the
+    exec'd text, kept for inspection like :class:`KernelSpec`.
+    """
+
+    name: str
+    kernel: Callable
+    cost: Callable
+    source: str
+    temps_eliminated: int
+
+
+_MAX_NEST_NAME = 96
+
+
+def _nest_ops() -> Dict[str, Callable]:
+    # Lazy: repro.numeric's package import reaches back into the
+    # runtime, which imports this module during a flush.
+    from repro.numeric import optable
+
+    ops: Dict[str, Callable] = {}
+    ops.update(optable.UNOPS)
+    ops.update(optable.BINOPS)
+    return ops
+
+
+def generate_nest(plan) -> NestSpec:
+    """Emit ONE exec'd NumPy source for a merge-safe group.
+
+    ``plan`` is a :class:`repro.analysis.depend.NestPlan` (duck-typed —
+    this module stays import-independent of the analyzer).  Each step
+    becomes one statement of the nest: its postfix program is folded
+    into a single expression at generation time, the value is cast to
+    the output dtype with the same ``.astype`` semantics NumPy applies
+    on ``out[...] = expr`` stores (bitwise-identical to replay), then
+    stored — unless the backing region is a dead elided temporary, in
+    which case the value lives only as the nest variable later steps
+    read.  The emitted ``cost`` charges the merged model: per-step
+    flops identical to replay, bytes deduplicated to external reads
+    plus surviving writes — one cost entry for the whole group.
+
+    Op callables are injected as the ``_OPS`` environment (the shared
+    :mod:`repro.numeric.optable`), so the nest runs the exact same
+    NumPy functions in the exact same order the replay path would.
+    Compilation is memoized (:func:`_compile`): recurring window
+    shapes re-exec nothing.
+    """
+    kernel_lines: List[str] = [
+        "def _cast(value, dt):",
+        "    value = np.asarray(value)",
+        "    return value if value.dtype == dt else value.astype(dt)",
+        "",
+        "",
+        "def kernel(ctx):",
+    ]
+    for step in plan.steps:
+        stack: List[str] = []
+        for kind, arg in step.program:
+            if kind == "view":
+                stack.append(f"ctx.view({arg!r})")
+            elif kind == "scalar":
+                stack.append(f"ctx.scalar({arg!r})")
+            elif kind == "var":
+                stack.append(f"v{arg}")
+            elif kind == "un":
+                stack.append(f"_OPS[{arg!r}]({stack.pop()})")
+            else:  # bin
+                rhs = stack.pop()
+                lhs = stack.pop()
+                stack.append(f"_OPS[{arg!r}]({lhs}, {rhs})")
+        (expr,) = stack
+        kept = "" if step.store else "  [temp eliminated]"
+        kernel_lines.append(f"    # [{step.index}] {step.name}{kept}")
+        kernel_lines.append(
+            f"    v{step.index} = _cast({expr}, np.dtype({step.dtype!r}))"
+        )
+        if step.store:
+            kernel_lines.append(f"    ctx.view({step.out!r})[...] = v{step.index}")
+
+    cost_lines: List[str] = ["def cost(ctx):", "    flops = 0.0"]
+    for step in plan.steps:
+        if step.weight:
+            cost_lines.append(
+                f"    flops += {step.weight!r} * "
+                f"ctx.rects[{step.out!r}].volume()"
+            )
+    cost_lines.append("    nbytes = 0.0")
+    for name in tuple(plan.reads) + tuple(plan.charged_writes):
+        cost_lines.append(
+            f"    nbytes += ctx.rects[{name!r}].volume() * "
+            f"ctx.arrays[{name!r}].dtype.itemsize"
+        )
+    cost_lines.append("    return flops, nbytes")
+
+    source = "\n".join(kernel_lines) + "\n\n\n" + "\n".join(cost_lines) + "\n"
+    joined = "+".join(step.name for step in plan.steps)
+    if len(joined) > _MAX_NEST_NAME:
+        joined = joined[: _MAX_NEST_NAME - 3] + "..."
+    name = f"nest{{{len(plan.steps)}}}:{joined}"
+    namespace = _compile(name, source, env={"_OPS": _nest_ops()})
+    return NestSpec(
+        name=name,
+        kernel=namespace["kernel"],
+        cost=namespace["cost"],
+        source=source,
+        temps_eliminated=plan.temps_eliminated,
+    )

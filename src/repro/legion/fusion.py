@@ -68,6 +68,11 @@ class Access:
     part_kind: str  # "tile" | "rep" | "other"
     boundaries: Optional[Tuple[int, ...]]
     privilege: Privilege
+    # Requirement name within the launch.  The dependence analyzer
+    # (repro.analysis.depend) resolves Pointwise.expr loads/out against
+    # it; "" (the default, for hand-built summaries) simply leaves the
+    # kernel opaque.
+    name: str = ""
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,10 @@ class LaunchSummary:
     colors: int
     fusible: bool
     accesses: Tuple[Access, ...]
+    # The launch's Pointwise marker (carrying the optional body IR the
+    # dependence analyzer classifies).  None on hand-built summaries —
+    # treated as an opaque kernel (task-fusible, never body-merged).
+    pointwise: Optional[Pointwise] = None
 
 
 @dataclass(frozen=True)
@@ -95,24 +104,27 @@ class GroupPlan:
 def summarize(
     name: str,
     colors: int,
-    accesses: Iterable[Tuple[object, object, Privilege]],
+    accesses: Iterable[Tuple[object, object, object, Privilege]],
     pointwise: Optional[Pointwise] = None,
     reduction: Optional[str] = None,
 ) -> LaunchSummary:
-    """Summarize a launch from ``(region, partition, privilege)`` triples."""
+    """Summarize a launch from ``(req_name, region, partition,
+    privilege)`` tuples."""
     out: List[Access] = []
     ok = pointwise is not None and reduction is None
-    for region, partition, privilege in accesses:
+    for req_name, region, partition, privilege in accesses:
         if isinstance(partition, Tiling):
-            out.append(Access(region, "tile", partition.boundaries, privilege))
+            out.append(
+                Access(region, "tile", partition.boundaries, privilege, req_name)
+            )
         elif isinstance(partition, Replicate):
-            out.append(Access(region, "rep", None, privilege))
+            out.append(Access(region, "rep", None, privilege, req_name))
             if privilege.writes:
                 ok = False
         else:
-            out.append(Access(region, "other", None, privilege))
+            out.append(Access(region, "other", None, privilege, req_name))
             ok = False
-    return LaunchSummary(name, int(colors), ok, tuple(out))
+    return LaunchSummary(name, int(colors), ok, tuple(out), pointwise)
 
 
 def summarize_launch(task: TaskLaunch) -> LaunchSummary:
@@ -120,7 +132,7 @@ def summarize_launch(task: TaskLaunch) -> LaunchSummary:
     return summarize(
         task.name,
         task.color_count,
-        ((r.region, r.partition, r.privilege) for r in task.requirements),
+        ((r.name, r.region, r.partition, r.privilege) for r in task.requirements),
         pointwise=task.pointwise,
         reduction=task.reduction,
     )
@@ -147,6 +159,20 @@ def local_ids(summaries: Sequence[LaunchSummary]) -> Dict[int, int]:
     return ids
 
 
+def ir_key(pointwise: Optional[Pointwise]) -> Optional[tuple]:
+    """A hashable key of a launch's body IR (None when opaque).
+
+    Part of the window signature: two structurally identical windows
+    whose kernels compute different expressions must not share a cached
+    merge verdict or generated nest.
+    """
+    if pointwise is None:
+        return None
+    statement = pointwise.statement
+    stmt_key = statement.key() if statement is not None else None
+    return (pointwise.ops, pointwise.expr, pointwise.out, stmt_key)
+
+
 def signature(summaries: Sequence[LaunchSummary]) -> tuple:
     """A hashable structural key of a window (the memoization key)."""
     ids = local_ids(summaries)
@@ -155,8 +181,12 @@ def signature(summaries: Sequence[LaunchSummary]) -> tuple:
             s.name,
             s.colors,
             s.fusible,
+            ir_key(s.pointwise),
             tuple(
-                (ids[a.region.uid], a.part_kind, a.boundaries, a.privilege.value)
+                (
+                    ids[a.region.uid], a.part_kind, a.boundaries,
+                    a.privilege.value, a.name,
+                )
                 for a in s.accesses
             ),
         )
@@ -281,13 +311,24 @@ def fused_name(names: Sequence[str]) -> str:
     return f"fused{{{len(names)}}}:{joined}"
 
 
-def fuse(group: Sequence[TaskLaunch], elide_uids: frozenset = frozenset()) -> TaskLaunch:
+def fuse(
+    group: Sequence[TaskLaunch],
+    elide_uids: frozenset = frozenset(),
+    nest=None,
+) -> TaskLaunch:
     """Merge a planned group into one launch.
 
     Requirement and scalar names are mangled ``"<i>.<name>"`` by
     sub-launch position; the fused kernel rebuilds each sub-launch's
     :class:`ShardContext` and runs the sub-kernels in issue order per
     shard, so the arithmetic is the exact unfused sequence.
+
+    With ``nest`` (a :class:`repro.distal.codegen.NestSpec` generated
+    for a merge-safe group — see :mod:`repro.analysis.depend`), the
+    replay kernel and summed per-sub cost are swapped for the nest's
+    single generated kernel and one combined cost entry; requirements,
+    scalars and the fused name are identical either way, so mapping,
+    coherence and the event log cannot tell the two apart.
     """
     if len(group) == 1 and not elide_uids:
         return group[0]
@@ -338,8 +379,8 @@ def fuse(group: Sequence[TaskLaunch], elide_uids: frozenset = frozenset()) -> Ta
     return TaskLaunch(
         name=fused_name([task.name for task in group]),
         requirements=requirements,
-        kernel=kernel,
-        cost_fn=cost,
+        kernel=nest.kernel if nest is not None else kernel,
+        cost_fn=nest.cost if nest is not None else cost,
         scalars=scalars,
         pointwise=Pointwise(tuple(ops)),
     )

@@ -32,6 +32,12 @@ class Profiler:
     fused_tasks: int = 0
     tasks_fused_away: int = 0
     regions_elided: int = 0
+    # Kernel fusion (repro.analysis.depend): fused groups the dependence
+    # analyzer proved merge-safe and executed as one generated loop
+    # nest, and elided temporaries whose backing stores were skipped
+    # entirely (dead after the window — the array never materializes).
+    kernel_merges: int = 0
+    nest_temps_eliminated: int = 0
     launch_overhead_seconds: float = 0.0
     # Modeled kernel execution time summed over every shard (the format
     # selector's ``total_seconds`` replays exactly this accumulation;
@@ -88,6 +94,11 @@ class Profiler:
         self.fused_tasks += 1
         self.tasks_fused_away += group_size - 1
         self.regions_elided += elided
+
+    def record_kernel_merge(self, group_size: int, temps_eliminated: int) -> None:
+        """Count one merge-safe group executed as a single loop nest."""
+        self.kernel_merges += 1
+        self.nest_temps_eliminated += temps_eliminated
 
     def record_launch_overhead(self, seconds: float) -> None:
         """Accumulate issue-clock launch overhead."""
@@ -153,6 +164,12 @@ class Profiler:
                 f"fusion:           {self.fused_tasks} fused groups "
                 f"({self.tasks_fused_away} launches merged away, "
                 f"{self.regions_elided} temporaries elided)"
+            )
+        if self.kernel_merges:
+            lines.append(
+                f"kernel fusion:    {self.kernel_merges} merged loop nests "
+                f"({self.nest_temps_eliminated} temporaries never "
+                f"materialized)"
             )
         if self.launch_overhead_seconds:
             lines.append(

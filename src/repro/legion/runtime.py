@@ -27,7 +27,7 @@ from __future__ import annotations
 import contextlib
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -102,6 +102,14 @@ class RuntimeConfig:
     # Deferred window capacity: the window flushes when full (and on
     # future waits, non-fusible launches, barriers and scope exits).
     fusion_window: int = 16
+    # Kernel fusion (repro.analysis.depend + distal.codegen): fused
+    # groups the dependence analyzer proves merge-safe execute as ONE
+    # generated loop nest — in-window temporaries become nest values,
+    # shared operands are read once, one cost entry for the group.
+    # Groups it cannot prove replay sub-kernels in issue order exactly
+    # as before.  On for Legate; pinned off under
+    # harness.config.paper_legate so published figures are unchanged.
+    kernel_fusion: bool = True
     # Kernel slowdown once a memory fills past the threshold — the
     # "CuPy runs close to the GPU memory limit" effect on ML-25M
     # (Fig. 12): allocator churn and fragmented, uncoalesced buffers.
@@ -271,11 +279,18 @@ class Runtime:
         # pays the planning cost once per distinct window shape.
         self._window: List[TaskLaunch] = []
         self._deferred_frees: List[int] = []
-        self._fusion_cache: Dict[tuple, List[fusion.GroupPlan]] = {}
+        # Plans plus kernel-fusion verdicts, memoized per structural
+        # window signature (the signature includes each launch's body
+        # IR, so distinct programs can never share a cached verdict).
+        self._fusion_cache: Dict[
+            tuple, Tuple[List[fusion.GroupPlan], List["object"]]
+        ] = {}
         # Every executed window group, in order: (sub-launch names,
-        # number of elided temporaries).  The advisor's capture-
-        # alongside agreement test compares its predictions to this.
-        self.fusion_log: List[Tuple[Tuple[str, ...], int]] = []
+        # number of elided temporaries, verdict label) where the label
+        # is depend.verdict_label — "single", "merged" or
+        # "replay:<reason>".  The advisor's capture-alongside agreement
+        # test compares its predictions to this, group for group.
+        self.fusion_log: List[Tuple[Tuple[str, ...], int, str]] = []
         # Every runtime auto-format conversion, in order (see
         # RuntimeConfig.autoformat and csr_matrix._autoformat_alt).
         # The advisor agreement test compares its (rows, nnz, dst_fmt)
@@ -556,7 +571,7 @@ class Runtime:
         window, self._window = self._window, []
         frees, self._deferred_frees = self._deferred_frees, []
         try:
-            self._flush(window)
+            self._flush(window, frees)
         finally:
             # Regions freed while referenced by the (now executed or
             # abandoned) window: recycle their instances.
@@ -565,21 +580,47 @@ class Runtime:
                 self._region_meta.pop(uid, None)
                 self.instances.free_region(uid)
 
-    def _flush(self, window: List[TaskLaunch]) -> None:
+    def _flush(self, window: List[TaskLaunch], frees: Sequence[int] = ()) -> None:
+        # Lazy imports: the analyzer/codegen reach repro.numeric, whose
+        # package import comes back through this module.
+        from repro.analysis import depend
+        from repro.distal import codegen
+
         summaries = [fusion.summarize_launch(task) for task in window]
         key = fusion.signature(summaries)
-        plans = self._fusion_cache.get(key)
-        if plans is None:
-            plans = fusion.plan_window(summaries)
-            self._fusion_cache[key] = plans
         local = fusion.local_ids(summaries)
+        cached = self._fusion_cache.get(key)
+        if cached is None:
+            plans = fusion.plan_window(summaries)
+            verdicts = [
+                depend.classify(summaries, local, plan) for plan in plans
+            ]
+            cached = (plans, verdicts)
+            self._fusion_cache[key] = cached
+        plans, verdicts = cached
         uid_of = {lid: uid for uid, lid in local.items()}
-        for plan in plans:
+        freed = frozenset(frees)
+        for plan, verdict in zip(plans, verdicts):
             names = tuple(window[i].name for i in plan.indices)
-            self.fusion_log.append((names, len(plan.elide)))
+            label = depend.verdict_label(
+                plan, verdict, self.config.kernel_fusion
+            )
+            self.fusion_log.append((names, len(plan.elide), label))
             if plan.fused:
+                group = [window[i] for i in plan.indices]
                 elide_uids = frozenset(uid_of[lid] for lid in plan.elide)
-                merged = fusion.fuse([window[i] for i in plan.indices], elide_uids)
+                nest = None
+                if label == "merged":
+                    # Elided temporaries already freed by the host are
+                    # provably dead: their stores are unobservable, so
+                    # the nest keeps them as values only.
+                    dead = frozenset(u for u in elide_uids if u in freed)
+                    nplan = depend.build_nest_plan(group, elide_uids, dead)
+                    nest = codegen.generate_nest(nplan)
+                    self.profiler.record_kernel_merge(
+                        len(plan.indices), nest.temps_eliminated
+                    )
+                merged = fusion.fuse(group, elide_uids, nest=nest)
                 self.profiler.record_fusion(len(plan.indices), len(plan.elide))
                 self._execute(merged)
             else:
@@ -1245,7 +1286,7 @@ class Runtime:
     def fill(self, region: Region, value: Any, partition: Optional[Partition] = None) -> None:
         """Distributed fill of a region with a constant."""
         part = partition or Tiling.create(region, self.num_procs)
-        pointwise = Pointwise(("fill",))
+        pointwise = Pointwise(("fill",), expr=(("scalar", "value"),), out="out")
         if self.plan_trace is not None:
             self.plan_trace.record_fill(
                 region, part, Privilege.WRITE_DISCARD, value,
@@ -1270,6 +1311,7 @@ class Runtime:
                 ],
                 kernel=kernel,
                 cost_fn=cost,
+                scalars={"value": value},
                 pointwise=pointwise,
             )
         )

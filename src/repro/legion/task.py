@@ -30,9 +30,23 @@ class Pointwise:
     merging a run of launches into one fused task
     (:mod:`repro.legion.fusion`).  ``ops`` names the element-wise
     operations, for reporting.
+
+    ``expr``/``out`` optionally carry the kernel's *body IR* for the
+    dependence analyzer (:mod:`repro.analysis.depend`): a postfix
+    program of ``("load", req_name)`` / ``("scalar", scalar_name)`` /
+    ``("un", op)`` / ``("bin", op)`` steps whose ops resolve through
+    :mod:`repro.numeric.optable`, producing the value stored to
+    requirement ``out``.  ``statement`` carries the DISTAL
+    :class:`~repro.distal.ir.Assignment` for DISTAL-generated kernels.
+    ``expr is None`` marks the kernel *opaque*: it still enters the
+    task-fusion window, but its group is never body-merged into one
+    loop nest (classified ``replay:opaque-kernel``).
     """
 
     ops: Tuple[str, ...] = ()
+    expr: Optional[Tuple[Tuple[str, str], ...]] = None
+    out: Optional[str] = None
+    statement: Optional[object] = None
 
 
 @dataclass

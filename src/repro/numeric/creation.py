@@ -39,7 +39,7 @@ def fill_inplace(arr: ndarray, value) -> None:
     task = AutoTask(rt, "fill", kernel, cost)
     task.add_output("out", arr.store)
     task.add_scalar_arg("value", value)
-    task.set_pointwise("fill")
+    task.set_pointwise("fill", expr=(("scalar", "value"),), out="out")
     task.execute()
 
 

@@ -231,7 +231,10 @@ def evaluate(expr: LazyExpr, out: Optional[ndarray] = None) -> ndarray:
         task.add_alignment_constraint(out.store, leaf.store)
     for key, val in scalars.items():
         task.add_scalar_arg(key, val)
-    task.set_pointwise(*op_names)
+    # The postfix program *is* the kernel body — expose it as the
+    # launch's body IR so the dependence analyzer can body-merge a
+    # lazy chain with its neighbours in the deferred window.
+    task.set_pointwise(*op_names, expr=tuple(program), out="out")
     task.execute()
     return out
 

@@ -95,7 +95,19 @@ def _binary(name: str, np_op, a, b, out: Optional[ndarray] = None) -> ndarray:
     else:
         task.add_scalar_arg("b", b.future if isinstance(b, Scalar) else b)
     task.add_scalar_arg("op", np_op)
-    task.set_pointwise(name)
+    canon = optable.canonical(name)
+    if optable.BINOPS.get(canon) is np_op:
+        # Table-resolved op: expose the body IR so the dependence
+        # analyzer can body-merge a fused group into one loop nest.
+        # Unknown callables (clip-style lambdas) stay opaque.
+        expr = (
+            ("load" if a_arr else "scalar", "a"),
+            ("load" if b_arr else "scalar", "b"),
+            ("bin", canon),
+        )
+        task.set_pointwise(name, expr=expr, out="out")
+    else:
+        task.set_pointwise(name)
     task.execute()
     return out
 
@@ -116,7 +128,13 @@ def _unary(name: str, np_op, a: ndarray, out: Optional[ndarray] = None, dtype=No
     task.add_input("a", a.store)
     task.add_alignment_constraint(out.store, a.store)
     task.add_scalar_arg("op", np_op)
-    task.set_pointwise(name)
+    canon = optable.canonical(name)
+    if optable.UNOPS.get(canon) is np_op:
+        task.set_pointwise(
+            name, expr=(("load", "a"), ("un", canon)), out="out"
+        )
+    else:
+        task.set_pointwise(name)
     task.execute()
     return out
 

@@ -55,8 +55,11 @@ def test_elementwise_chain_agreement():
     plan, runtime = capture_fused(workload)
     advice = assert_fusion_agreement(plan, runtime)
     # The chain actually fused and elided temporaries, on both sides.
-    assert any(len(names) > 1 for names, _ in advice.fusion_groups)
-    assert any(elided > 0 for _, elided in advice.fusion_groups)
+    assert any(len(names) > 1 for names, _, _ in advice.fusion_groups)
+    assert any(elided > 0 for _, elided, _ in advice.fusion_groups)
+    # The chain is pure known-op pointwise code: at least one group
+    # must carry a merge-safe verdict on both sides.
+    assert any(v == "merged" for _, _, v in advice.fusion_groups)
     assert runtime.profiler.fused_tasks > 0
 
 
@@ -68,9 +71,10 @@ def test_fig9_cg_agreement():
 
     plan, runtime = capture_fused(workload)
     advice = assert_fusion_agreement(plan, runtime)
-    assert any(len(names) > 1 for names, _ in advice.fusion_groups)
+    assert any(len(names) > 1 for names, _, _ in advice.fusion_groups)
+    assert any(v == "merged" for _, _, v in advice.fusion_groups)
     # SpMV (image-constrained) never enters the window on either side.
-    for names, _ in advice.fusion_groups:
+    for names, _, _ in advice.fusion_groups:
         assert not any("A(i,j)" in n for n in names)
 
 

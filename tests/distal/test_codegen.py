@@ -277,3 +277,79 @@ class TestGeneratedKernels:
         FakeCtx.config.local_reshape_penalty = False
         without = spec.cost(FakeCtx)[1]
         assert with_penalty > without
+
+
+class TestCompileCache:
+    """exec-compilation is memoized by (name, source) signature."""
+
+    def _nest_plan(self):
+        from types import SimpleNamespace
+
+        from repro.analysis import depend
+        from repro.legion import Pointwise, Privilege, Requirement
+
+        def req(name, uid, priv):
+            reg = SimpleNamespace(uid=uid, name="", data=np.zeros(4))
+            return Requirement(name, reg, None, priv)
+
+        mul = SimpleNamespace(
+            name="multiply",
+            pointwise=Pointwise(
+                ("multiply",),
+                expr=(("load", "a"), ("scalar", "c"), ("bin", "multiply")),
+                out="out",
+            ),
+            requirements=[
+                req("out", 11, Privilege.WRITE_DISCARD),
+                req("a", 10, Privilege.READ),
+            ],
+        )
+        add = SimpleNamespace(
+            name="add",
+            pointwise=Pointwise(
+                ("add",),
+                expr=(("load", "a"), ("load", "b"), ("bin", "add")),
+                out="out",
+            ),
+            requirements=[
+                req("out", 12, Privilege.WRITE_DISCARD),
+                req("a", 11, Privilege.READ),
+                req("b", 10, Privilege.READ),
+            ],
+        )
+        return depend.build_nest_plan([mul, add], elide_uids=frozenset({11}))
+
+    def test_generate_nest_hits_cache_on_repeat(self):
+        codegen.clear_compile_cache()
+        plan = self._nest_plan()
+        first = codegen.generate_nest(plan)
+        stats = codegen.compile_cache_stats()
+        assert stats == {"hits": 0, "misses": 1}
+        second = codegen.generate_nest(plan)
+        stats = codegen.compile_cache_stats()
+        assert stats == {"hits": 1, "misses": 1}
+        assert first.source == second.source
+        assert first.name == second.name
+
+    def test_different_sources_do_not_collide(self):
+        codegen.clear_compile_cache()
+        plan = self._nest_plan()
+        codegen.generate_nest(plan)
+        other = self._nest_plan()
+        # Same shape, same source -> hit even from a distinct plan object.
+        codegen.generate_nest(other)
+        assert codegen.compile_cache_stats()["hits"] == 1
+
+    def test_generate_statement_kernels_memoized(self):
+        from repro.distal.ir import IndexVar, Tensor
+
+        codegen.clear_compile_cache()
+        i, j = IndexVar("i"), IndexVar("j")
+        y, A, x = Tensor("y", 1), Tensor("A", 2), Tensor("x", 1)
+        stmt = y[i] << A[i, j] * x[j]
+        codegen.generate(stmt, CSR, proc_kind=ProcessorKind.GPU)
+        before = codegen.compile_cache_stats()
+        codegen.generate(stmt, CSR, proc_kind=ProcessorKind.GPU)
+        after = codegen.compile_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]

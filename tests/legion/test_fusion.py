@@ -182,7 +182,7 @@ class TestWindowMechanics:
         A = sp.eye(32, format="csr")
         x = rnp.ones(32)
         y = A @ x  # image-constrained SpMV: flushes, then runs eagerly
-        assert any("fill" in names for names, _ in rt.fusion_log)
+        assert any("fill" in names for names, _, _ in rt.fusion_log)
         np.testing.assert_array_equal(y.to_numpy(), np.ones(32))
 
     def test_store_data_syncs(self, rt):

@@ -1,0 +1,232 @@
+"""Kernel fusion end-to-end: merged nests vs replay vs unfused.
+
+Property-style checks that merge-safe fused groups executed as one
+generated loop nest are bitwise-identical to issue-order replay and to
+fully unfused execution — over randomized pointwise chains, the CG
+axpy/dot tail and a GMG-style smoother — plus the verdict log, the
+profiler counters, the paper_legate pin and the opaque-kernel fallback.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+import repro.numeric as rnp
+from repro.harness.config import paper_legate
+from repro.legion import Runtime, RuntimeConfig
+from repro.legion.runtime import runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+
+def run_workload(workload, *, fusion=True, kernel_fusion=True, procs=2):
+    """Run ``workload`` under one config; return (digest, runtime)."""
+    machine = laptop()
+    runtime = Runtime(
+        machine.scope(ProcessorKind.GPU, procs),
+        RuntimeConfig.legate(fusion=fusion, kernel_fusion=kernel_fusion),
+    )
+    with runtime_scope(runtime):
+        out = workload()
+        data = out.to_numpy()
+    digest = hashlib.sha256(data.tobytes()).hexdigest()
+    return digest, runtime
+
+
+def assert_three_way_identical(workload):
+    """The same bits under merged, replay and unfused execution."""
+    merged, rt_merged = run_workload(workload)
+    replay, rt_replay = run_workload(workload, kernel_fusion=False)
+    unfused, _ = run_workload(workload, fusion=False)
+    assert merged == replay == unfused
+    return rt_merged, rt_replay
+
+
+BIN_OPS = ["add", "subtract", "multiply", "maximum", "minimum"]
+UN_OPS = ["sqrt", "negative", "absolute", "square"]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_pointwise_chains_bitwise_identical(seed):
+    rng = np.random.default_rng(seed)
+    n = 96
+    a0 = rng.uniform(0.5, 2.0, n)
+    b0 = rng.uniform(0.5, 2.0, n)
+    steps = [
+        ("bin", rng.choice(BIN_OPS)) if rng.random() < 0.6
+        else ("un", rng.choice(UN_OPS))
+        for _ in range(int(rng.integers(3, 8)))
+    ]
+    scalars = rng.uniform(0.5, 1.5, len(steps))
+
+    def workload():
+        x = rnp.array(a0)
+        b = rnp.array(b0)
+        for (kind, op), s in zip(steps, scalars):
+            if kind == "bin":
+                x = getattr(rnp, op)(x, b) * float(s)
+            else:
+                x = getattr(rnp, op)(x) + float(s)
+        return x
+
+    rt_merged, _ = assert_three_way_identical(workload)
+    # The chain is pure known-op pointwise code: something merged.
+    assert rt_merged.profiler.kernel_merges > 0
+    assert any(v == "merged" for _, _, v in rt_merged.fusion_log)
+
+
+def test_cg_axpy_tail_bitwise_identical():
+    """The CG update tail: x += alpha p; r -= alpha q, dots between."""
+    rng = np.random.default_rng(7)
+    n = 128
+    x0, r0, p0, q0 = (rng.standard_normal(n) for _ in range(4))
+
+    def workload():
+        x = rnp.array(x0)
+        r = rnp.array(r0)
+        p = rnp.array(p0)
+        q = rnp.array(q0)
+        for _ in range(3):
+            alpha = float(rnp.dot(r, r)) / float(rnp.dot(p, q))
+            x = x + p * alpha
+            r = r - q * alpha
+            beta = float(rnp.dot(r, r))
+            p = r + p * beta
+        return x + r
+
+    rt_merged, rt_replay = assert_three_way_identical(workload)
+    assert rt_merged.profiler.kernel_merges > 0
+    # Same groups on both sides; only the labels differ.
+    assert [g[:2] for g in rt_merged.fusion_log] == [
+        g[:2] for g in rt_replay.fusion_log
+    ]
+    assert all(
+        v.startswith(("replay:disabled", "single"))
+        for _, _, v in rt_replay.fusion_log
+    )
+
+
+def test_gmg_smoother_chain_bitwise_identical():
+    """A weighted-Jacobi smoother step: e += omega * (r * dinv)."""
+    rng = np.random.default_rng(11)
+    n = 81
+    r0 = rng.standard_normal(n)
+    d0 = rng.uniform(1.0, 3.0, n)
+
+    def workload():
+        r = rnp.array(r0)
+        dinv = 1.0 / rnp.array(d0)
+        e = rnp.zeros(n)
+        for _ in range(4):
+            t = r * dinv
+            e = e + t * (2.0 / 3.0)
+        return e
+
+    rt_merged, _ = assert_three_way_identical(workload)
+    assert rt_merged.profiler.kernel_merges > 0
+
+
+def test_merged_compute_strictly_below_replay():
+    """Shared operands and elided temps make the merged model cheaper."""
+    def workload():
+        x = rnp.array(np.linspace(0.5, 2.0, 256))
+        t = x * 2.0
+        y = t + x  # x read by two statements; t elided
+        return y
+
+    _, rt_merged = run_workload(workload)
+    _, rt_replay = run_workload(workload, kernel_fusion=False)
+    assert rt_merged.profiler.kernel_merges > 0
+    assert rt_replay.profiler.kernel_merges == 0
+    assert (
+        rt_merged.profiler.kernel_seconds
+        < rt_replay.profiler.kernel_seconds
+    )
+
+
+def test_live_elided_temp_still_readable_after_window():
+    """An elided-but-live temporary must still reach its backing array."""
+    machine = laptop()
+    runtime = Runtime(
+        machine.scope(ProcessorKind.GPU, 2), RuntimeConfig.legate()
+    )
+    with runtime_scope(runtime):
+        a = rnp.ones(32)
+        runtime.barrier()
+        t = a * 2.0   # produced...
+        y = t + 1.0   # ...and consumed in-window: t is elided
+        runtime.barrier()
+        assert any(v == "merged" for _, _, v in runtime.fusion_log)
+        np.testing.assert_array_equal(t.to_numpy(), np.full(32, 2.0))
+        np.testing.assert_array_equal(y.to_numpy(), np.full(32, 3.0))
+
+
+def test_opaque_kernel_blocks_merge_but_replays_identically():
+    """clip exposes no body IR: its group replays, bits unchanged."""
+    rng = np.random.default_rng(3)
+    x0 = rng.standard_normal(64)
+
+    def workload():
+        x = rnp.array(x0)
+        y = x * 2.0
+        z = rnp.clip(y, -0.5, 0.5)
+        return z + y
+
+    rt_merged, _ = assert_three_way_identical(workload)
+    labels = [v for _, _, v in rt_merged.fusion_log]
+    assert "replay:opaque-kernel" in labels
+
+
+def test_fusion_log_carries_verdict_labels():
+    def workload():
+        x = rnp.ones(48)
+        return x * 3.0 + 1.0
+
+    _, rt = run_workload(workload)
+    assert rt.fusion_log
+    for names, elided, verdict in rt.fusion_log:
+        assert isinstance(names, tuple)
+        assert isinstance(elided, int)
+        assert verdict == "single" or verdict == "merged" or (
+            verdict.startswith("replay:")
+            and verdict.split(":", 1)[1] in __import__(
+                "repro.analysis.depend", fromlist=["REASONS"]
+            ).REASONS
+        )
+
+
+def test_kernel_fusion_disabled_labels_replay():
+    def workload():
+        x = rnp.ones(48)
+        return x * 3.0 + 1.0
+
+    _, rt = run_workload(workload, kernel_fusion=False)
+    fused = [v for names, _, v in rt.fusion_log if len(names) > 1]
+    assert fused and all(v == "replay:disabled" for v in fused)
+    assert rt.profiler.kernel_merges == 0
+
+
+def test_paper_legate_pins_kernel_fusion_off():
+    cfg = paper_legate()
+    assert not cfg.fusion
+    assert not cfg.kernel_fusion
+    assert RuntimeConfig.legate().kernel_fusion
+    # Explicit override still wins for the separate fusion benchmark.
+    assert paper_legate(fusion=True, kernel_fusion=True).kernel_fusion
+
+
+def test_nest_source_is_inspectable():
+    """The generated nest source is cached, exec-able text."""
+    from repro.distal import codegen
+
+    codegen.clear_compile_cache()
+
+    def workload():
+        x = rnp.array(np.arange(1.0, 65.0))
+        t = x * 2.0
+        return t + 1.0
+
+    _, rt = run_workload(workload)
+    assert rt.profiler.kernel_merges > 0
+    stats = codegen.compile_cache_stats()
+    assert stats["misses"] > 0
