@@ -2,7 +2,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test validate check lint advise autoformat bench chaos profile \
-	kernel-fusion
+	kernel-fusion overhead
 
 test:
 	python -m pytest -x -q
@@ -48,6 +48,14 @@ kernel-fusion:
 bench:
 	python scripts/bench.py
 	python scripts/format.py
+
+# Host-overhead benchmark: CG at summit:64 and summit:1024 with the
+# host fast path on vs off, writes BENCH_runtime_overhead.json and
+# fails unless the fast path is strictly faster (host seconds per 1k
+# launches) at both scales with bitwise-identical solutions, modeled
+# times and checker-clean validated identity runs.
+overhead:
+	python scripts/overhead.py
 
 # Chaos benchmark: CG under deterministic fault schedules (transient
 # copy/alloc faults, GPU loss + checkpoint/replay recovery), writes

@@ -58,6 +58,15 @@ for key in ("fig9_cg", "fig10_gmg"):
 print("BENCH_fusion kernel-fusion payload OK")
 PYEOF
 
+echo "== host-overhead smoke (fast path on vs off at summit:64) =="
+# --smoke runs the first scale point only (the summit:1024 slow-path
+# run takes minutes) plus both validated identity workloads; the
+# driver exits non-zero unless fastpath-on is strictly below
+# fastpath-off in host seconds per 1k launches, bitwise-identically
+# and checker-clean.
+python scripts/overhead.py --smoke \
+    --output BENCH_runtime_overhead.smoke.json > /dev/null
+
 echo "== chaos bench smoke (fault schedules vs baseline, writes BENCH_chaos.json) =="
 python scripts/chaos.py --output BENCH_chaos.json > /dev/null
 

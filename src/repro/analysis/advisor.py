@@ -71,6 +71,14 @@ from repro.machine import (
 )
 
 
+def _compile_cache_stats() -> Dict[str, int]:
+    # Lazy: repro.distal.codegen is import-heavy and only needed when a
+    # report is actually built.
+    from repro.distal.codegen import compile_cache_stats
+
+    return compile_cache_stats()
+
+
 # ----------------------------------------------------------------------
 # Configuration and report types
 # ----------------------------------------------------------------------
@@ -180,6 +188,11 @@ class Advice:
     # Ranked per-operand format recommendations from the static
     # auto-format pass (empty unless AdvisorConfig.autoformat is on).
     format_advice: List[FormatAdvice] = field(default_factory=list)
+    # Process-wide codegen reuse counters
+    # (:func:`repro.distal.codegen.compile_cache_stats`), reported next
+    # to the runtime's fast-path cache counters so a profile/advise
+    # pair shows host-side caching end to end.
+    caches: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def errors(self) -> List[Finding]:
@@ -234,6 +247,7 @@ class Advice:
                 for names, elided, verdict in self.fusion_groups
             ],
             "format_advice": [fa.to_dict() for fa in self.format_advice],
+            "caches": self.caches,
             "errors": len(self.errors),
             "warnings": len(self.warnings),
         }
@@ -285,6 +299,14 @@ class Advice:
             f"copies {self.est_copy_seconds:.3e}s"
         )
         lines.append("")
+        compile_stats = self.caches.get("compile")
+        if compile_stats:
+            lines.append(
+                "kernel compile cache: "
+                f"{int(compile_stats.get('hits', 0))} hits / "
+                f"{int(compile_stats.get('misses', 0))} misses"
+            )
+            lines.append("")
         merged = [g for g in self.fusion_groups if len(g[0]) > 1]
         if merged:
             away = sum(len(names) - 1 for names, _, _ in merged)
@@ -1246,6 +1268,7 @@ def analyze(
             else []
         ),
         format_advice=format_advice,
+        caches={"compile": _compile_cache_stats()},
     )
 
 

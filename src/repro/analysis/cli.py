@@ -144,6 +144,29 @@ def _profile_main(argv: List[str]) -> int:
         timeline.save_chrome_trace(args.chrome)
         print(f"wrote Chrome trace: {args.chrome} ({len(timeline)} spans)")
     print(timeline.format_ascii(top=args.top))
+    meta = timeline.meta
+    if "fastpath" in meta:
+        print(f"host fast path: {'on' if meta['fastpath'] else 'off'}")
+    phases = meta.get("host_phases") or {}
+    if phases:
+        total = sum(phases.values())
+        print(f"host phases ({total:.6f}s total):")
+        for name, seconds in sorted(
+            phases.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {name:>16}: {seconds:.6f}s")
+    caches = meta.get("caches") or {}
+    if caches:
+        print("fast-path caches:")
+        for name, count in sorted(caches.items()):
+            print(f"  {name:>16}: {int(count)}")
+    compile_stats = meta.get("compile_cache") or {}
+    if compile_stats:
+        print(
+            "kernel compile cache: "
+            f"{int(compile_stats.get('hits', 0))} hits / "
+            f"{int(compile_stats.get('misses', 0))} misses"
+        )
     if args.critical_path:
         path = timeline.critical_path()
         print(f"critical path ({len(path.steps)} steps):")

@@ -10,11 +10,14 @@ them.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Any, Dict, List, Optional
 
 from repro.analysis import ValidationError
 from repro.constraints.constraint import Align, Broadcast, Explicit, Image, ImageKind
-from repro.constraints.solver import solve_partitions
+from repro.constraints.solver import (
+    rebuild_solution, solution_plan, solve_partitions, solve_signature,
+)
 from repro.constraints.store import Store
 from repro.legion.future import Future
 from repro.legion.partition import Tiling
@@ -178,13 +181,41 @@ class AutoTask:
                     return Future(plan.deferred_scalar(self.name), 0.0)
                 return None
         stores = [store for _, store, _ in self._args]
-        solution = solve_partitions(
-            stores,
-            self._constraints,
-            colors,
-            reuse_partitions=self.runtime.config.reuse_partitions,
-            exact_images=self.runtime.config.exact_images,
-        )
+        rt = self.runtime
+        t0 = _perf()
+        solution = sig = None
+        if rt.config.fastpath:
+            # Memoized solve: iterative solvers re-launch structurally
+            # identical tasks every step; the signature embeds key
+            # partitions, so repartitions miss instead of going stale.
+            sig = solve_signature(
+                stores,
+                self._constraints,
+                colors,
+                reuse_partitions=rt.config.reuse_partitions,
+                exact_images=rt.config.exact_images,
+            )
+            if sig is not None:
+                plan_entry = rt._solve_memo.get(sig)
+                if plan_entry is not None:
+                    solution = rebuild_solution(plan_entry, stores, colors)
+        if solution is None:
+            solution = solve_partitions(
+                stores,
+                self._constraints,
+                colors,
+                reuse_partitions=rt.config.reuse_partitions,
+                exact_images=rt.config.exact_images,
+                image_cache=rt._image_cache,
+            )
+            if sig is not None:
+                splan = solution_plan(solution, stores)
+                if splan is not None:
+                    rt._solve_memo.put(sig, splan)
+                rt.profiler.fastpath_counters["solve_misses"] += 1
+        else:
+            rt.profiler.fastpath_counters["solve_hits"] += 1
+        rt.profiler.record_host_phase("constraint-solve", _perf() - t0)
         if self.runtime.config.validate:
             self._check_write_disjointness(solution)
         requirements = []

@@ -22,8 +22,18 @@ class Rect:
     hi: Tuple[int, ...]
 
     def __post_init__(self) -> None:
-        if len(self.lo) != len(self.hi):
+        lo, hi = self.lo, self.hi
+        if len(lo) != len(hi):
             raise ValueError("lo/hi dimensionality mismatch")
+        # Emptiness is queried far more often than rects are built
+        # (every coherence scan probes it); precompute once.  Not a
+        # dataclass field, so eq/hash/repr still use lo/hi only.
+        empty = False
+        for l, h in zip(lo, hi):
+            if h <= l:
+                empty = True
+                break
+        object.__setattr__(self, "_empty", empty)
 
     @classmethod
     def from_shape(cls, shape: Tuple[int, ...]) -> "Rect":
@@ -52,7 +62,7 @@ class Rect:
 
     def is_empty(self) -> bool:
         """True when any dimension has no extent."""
-        return any(h <= l for l, h in zip(self.lo, self.hi))
+        return self._empty
 
     def volume(self) -> int:
         """Number of points covered."""
@@ -86,10 +96,9 @@ class Rect:
 
     def intersect(self, other: "Rect") -> "Rect":
         """The (possibly empty) intersection rect."""
-        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
-        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
-        hi = tuple(max(l, h) for l, h in zip(lo, hi))
-        return Rect(lo, hi)
+        lo = tuple(map(max, self.lo, other.lo))
+        hi = tuple(map(min, self.hi, other.hi))
+        return Rect(lo, tuple(map(max, lo, hi)))
 
     def union_hull(self, other: "Rect") -> "Rect":
         """Smallest rect containing both operands."""
@@ -148,10 +157,18 @@ class RectSet:
     containment rather than structurally.
     """
 
-    __slots__ = ("_rects",)
+    __slots__ = ("_rects", "_members")
 
     def __init__(self, rects: Optional[Iterable[Rect]] = None):
         self._rects: List[Rect] = []
+        # Lazy membership index over _rects (Rect is frozen/hashable).
+        # Re-adding a rect that is literally a member is a no-op, and
+        # runtimes re-mark the same written tiles every launch — the
+        # O(1) hash probe replaces an O(n) subtract scan.  Built on
+        # first use in add(); every other method builds fresh sets and
+        # never mutates an existing _rects list, so no other
+        # maintenance is needed.
+        self._members: Optional[set] = None
         if rects:
             for rect in rects:
                 self.add(rect)
@@ -186,6 +203,11 @@ class RectSet:
         """Union a rect in, keeping members disjoint."""
         if rect.is_empty():
             return
+        members = self._members
+        if members is None:
+            members = self._members = set(self._rects)
+        if rect in members:
+            return
         new_pieces = [rect]
         for existing in self._rects:
             next_pieces: List[Rect] = []
@@ -195,6 +217,36 @@ class RectSet:
             if not new_pieces:
                 return
         self._rects.extend(new_pieces)
+        members.update(new_pieces)
+
+    def add_disjoint(self, rects: Iterable[Rect]) -> None:
+        """Union in rects the caller guarantees are pairwise disjoint.
+
+        Bitwise-identical to calling :meth:`add` on each rect in order,
+        but each rect subtracts only against the rects present before
+        the batch — mutually disjoint inputs cannot clip each other, so
+        skipping those comparisons changes nothing.  Turns the
+        first-write population of a region's written-set (n disjoint
+        tiles) from O(n^2) subtract scans into O(n).
+        """
+        members = self._members
+        if members is None:
+            members = self._members = set(self._rects)
+        prior = self._rects[:]
+        for rect in rects:
+            if rect.is_empty() or rect in members:
+                continue
+            new_pieces = [rect]
+            for existing in prior:
+                next_pieces: List[Rect] = []
+                for piece in new_pieces:
+                    next_pieces.extend(piece.subtract(existing))
+                new_pieces = next_pieces
+                if not new_pieces:
+                    break
+            if new_pieces:
+                self._rects.extend(new_pieces)
+                members.update(new_pieces)
 
     def union(self, other: "RectSet") -> "RectSet":
         """Set union (members stay disjoint)."""

@@ -18,6 +18,16 @@ from typing import Dict, List, Optional, Tuple
 from repro.geometry import Rect, RectSet
 
 
+def _disjoint(a: Rect, b: Rect) -> bool:
+    """Allocation-free overlap precheck (regions are 1-D or 2-D)."""
+    alo, ahi, blo, bhi = a.lo, a.hi, b.lo, b.hi
+    if bhi[0] <= alo[0] or ahi[0] <= blo[0]:
+        return True
+    if len(alo) == 1:
+        return False
+    return bhi[1] <= alo[1] or ahi[1] <= blo[1]
+
+
 @dataclass
 class ValidPiece:
     """One valid rect with its availability time."""
@@ -51,6 +61,11 @@ class RegionCoherence:
             return []
         remaining = [needed]
         for piece in self.pieces(memory_uid):
+            # Pieces disjoint from ``needed`` cannot intersect any
+            # remainder of it; skipping them leaves ``remaining``
+            # identical (subtract would return each rect unchanged).
+            if _disjoint(piece.rect, needed):
+                continue
             nxt: List[Rect] = []
             for rect in remaining:
                 nxt.extend(rect.subtract(piece.rect))
@@ -63,8 +78,8 @@ class RegionCoherence:
         """Latest availability time of valid data overlapping ``needed``."""
         t = 0.0
         for piece in self.pieces(memory_uid):
-            if piece.rect.overlaps(needed):
-                t = max(t, piece.ready_time)
+            if piece.ready_time > t and not _disjoint(piece.rect, needed):
+                t = piece.ready_time
         return t
 
     def find_source(self, rect: Rect, exclude: int) -> List[Tuple[int, Rect, float]]:
@@ -81,6 +96,11 @@ class RegionCoherence:
             if mem_uid == exclude or not remaining:
                 continue
             for piece in pieces:
+                # Every remainder is inside ``rect``: a piece disjoint
+                # from it contributes no fragment and leaves
+                # ``remaining`` unchanged.
+                if _disjoint(piece.rect, rect):
+                    continue
                 nxt: List[Rect] = []
                 for want in remaining:
                     part = want.intersect(piece.rect)
@@ -102,6 +122,9 @@ class RegionCoherence:
         pieces = self.pieces(memory_uid)
         out: List[ValidPiece] = []
         for piece in pieces:
+            if _disjoint(piece.rect, rect):
+                out.append(piece)
+                continue
             for leftover in piece.rect.subtract(rect):
                 out.append(ValidPiece(leftover, piece.ready_time))
         out.append(ValidPiece(rect, time))
@@ -127,12 +150,51 @@ class RegionCoherence:
             if mem_uid == memory_uid:
                 continue
             pieces = self.valid[mem_uid]
-            out: List[ValidPiece] = []
-            for piece in pieces:
+            # Rebuild lazily: a list no piece of which overlaps the
+            # written rect is kept as-is (the rebuild would reproduce
+            # it element for element).
+            out: Optional[List[ValidPiece]] = None
+            for idx, piece in enumerate(pieces):
+                if _disjoint(piece.rect, rect):
+                    if out is not None:
+                        out.append(piece)
+                    continue
+                if out is None:
+                    out = pieces[:idx]
                 for leftover in piece.rect.subtract(rect):
                     out.append(ValidPiece(leftover, piece.ready_time))
-            self.valid[mem_uid] = out
+            if out is not None:
+                self.valid[mem_uid] = out
         self.mark_valid(memory_uid, rect, time)
+
+    def write_complete(self, writes: List[Tuple[int, Rect, float]]) -> None:
+        """Batched equivalent of per-color :meth:`mark_written` calls.
+
+        ``writes`` is ``(memory_uid, rect, time)`` per color, in color
+        order, empty rects omitted, where the rects are the tiles of a
+        disjoint partition covering the whole region (the fast path's
+        eligibility check, :func:`repro.legion.fastpath
+        .eligible_write_reqs`, guarantees this).  Under that geometry
+        the sequential slow path converges to a state independent of
+        prior validity — every pre-existing piece is subtracted away
+        tile by tile, each written memory ends holding exactly its own
+        tiles in color order, and ``written`` receives the same
+        per-tile add sequence — so one pass reproduces it exactly
+        without the O(colors x memories) list rebuilds.
+        """
+        valid = self.valid
+        for mem_uid in valid:
+            valid[mem_uid] = []
+        # Tiles of one disjoint partition: the batched written-set union
+        # skips tile-vs-tile subtracts (identical outcome, O(n) not
+        # O(n^2) — fresh regions pay the full scan on every first write
+        # otherwise).
+        self.written.add_disjoint(rect for _, rect, _ in writes)
+        for mem_uid, rect, t in writes:
+            lst = valid.get(mem_uid)
+            if lst is None:
+                lst = valid[mem_uid] = []
+            lst.append(ValidPiece(rect, t))
 
     def invalidate(self, memory_uid: int, rect: Optional[Rect] = None) -> None:
         """Drop one memory's validity (all of it, or just ``rect``).
@@ -150,6 +212,9 @@ class RegionCoherence:
             return
         out: List[ValidPiece] = []
         for piece in pieces:
+            if _disjoint(piece.rect, rect):
+                out.append(piece)
+                continue
             for leftover in piece.rect.subtract(rect):
                 out.append(ValidPiece(leftover, piece.ready_time))
         self.valid[memory_uid] = out

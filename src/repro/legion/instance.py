@@ -86,6 +86,11 @@ class MemoryState:
         self.inflight_window = int(inflight_window)
         # Logical clock stamped onto instances for LRU eviction.
         self._use_tick = 0
+        # Structural version: bumped by every mutation that could
+        # change a :meth:`find` scan's outcome (allocation, coalescing
+        # growth, drop, free, loss).  The runtime's instance lookup
+        # cache (repro.legion.fastpath) validates entries against it.
+        self.version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -120,6 +125,15 @@ class MemoryState:
             if inst.rect.contains(rect):
                 return inst
         return None
+
+    def touch(self, inst: Instance) -> None:
+        """Re-stamp an instance's LRU clock, exactly as a find hit does.
+
+        The runtime's lookup cache calls this on a cache hit so the
+        eviction order matches the uncached path tick for tick.
+        """
+        self._use_tick += 1
+        inst.last_use = self._use_tick
 
     def ensure(
         self,
@@ -168,6 +182,7 @@ class MemoryState:
                     # grows in place with no data movement.
                     best.rect = hull
                     best.last_use = self._use_tick
+                    self.version += 1
                     return best, 0, False
                 grow = max(0, new_bytes - best.alloc_bytes)
                 try:
@@ -184,6 +199,7 @@ class MemoryState:
                 best.rect = hull
                 best.alloc_bytes = new_bytes
                 best.last_use = self._use_tick
+                self.version += 1
                 return best, move, False
 
         try:
@@ -191,6 +207,7 @@ class MemoryState:
         except OutOfMemoryError as exc:
             raise exc.annotate(region_uid=region_uid, rect=rect) from None
         insts.append(inst)
+        self.version += 1
         # The caller must populate a brand-new instance: any bytes of the
         # needed rect already valid in this memory (in other instances)
         # are duplicated with an intra-memory copy.
@@ -240,7 +257,10 @@ class MemoryState:
     def free_region(self, region_uid: int) -> int:
         """Recycle a region's allocations into the pool (scaled sizes)."""
         freed = 0
-        for inst in self.instances.pop(region_uid, []):
+        popped = self.instances.pop(region_uid, [])
+        if popped:
+            self.version += 1
+        for inst in popped:
             if inst.alloc_bytes > 0:
                 self.pool.append(inst.alloc_bytes * inst.scale)
                 freed += inst.alloc_bytes
@@ -278,6 +298,7 @@ class MemoryState:
         insts.remove(inst)
         if not insts:
             del self.instances[inst.region_uid]
+        self.version += 1
         freed = inst.alloc_bytes * inst.scale
         if inst.alloc_bytes > 0:
             self._release(inst.alloc_bytes, inst.scale)
@@ -306,6 +327,7 @@ class MemoryState:
         self.instances.clear()
         self.pool.clear()
         self.used_bytes = 0.0
+        self.version += 1
 
 
 class InstanceManager:

@@ -91,6 +91,25 @@ class Tiling(Partition):
             for i in range(len(self.boundaries) - 1)
         ):
             raise ValueError("tile boundaries must be non-decreasing")
+        # Per-color tile rects, built on first use.  Tilings are shared
+        # across launches (key-partition reuse), so memoizing here turns
+        # the per-shard rect construction into a dict hit; Rect is
+        # frozen, so sharing one object per color is safe.
+        self._rect_cache: dict = {}
+
+    @classmethod
+    def trusted(cls, region: Region, boundaries: Tuple[int, ...]) -> "Tiling":
+        """Construct without re-validating ``boundaries``.
+
+        For fast-path rebuilds of tilings that already passed the
+        constructor's checks (the region is the same object the
+        boundaries were validated against — uids never recycle).
+        """
+        self = cls.__new__(cls)
+        Partition.__init__(self, region, len(boundaries) - 1)
+        self.boundaries = tuple(boundaries)
+        self._rect_cache = {}
+        return self
 
     @staticmethod
     def create_boundaries(n: int, colors: int) -> Tuple[int, ...]:
@@ -109,11 +128,16 @@ class Tiling(Partition):
 
     def rect(self, color: int) -> Rect:
         """The tile rect of a color."""
-        lo = self.boundaries[color]
-        hi = self.boundaries[color + 1]
-        if self.region.ndim == 1:
-            return Rect((lo,), (hi,))
-        return Rect((lo, 0), (hi, self.region.shape[1]))
+        cached = self._rect_cache.get(color)
+        if cached is None:
+            lo = self.boundaries[color]
+            hi = self.boundaries[color + 1]
+            if self.region.ndim == 1:
+                cached = Rect((lo,), (hi,))
+            else:
+                cached = Rect((lo, 0), (hi, self.region.shape[1]))
+            self._rect_cache[color] = cached
+        return cached
 
     def aligned_with(self, other: Partition) -> bool:
         """Same boundaries: composing costs no movement."""

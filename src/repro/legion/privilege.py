@@ -12,12 +12,14 @@ class Privilege(enum.Enum):
     WRITE_DISCARD = "write-discard"  # write without reading prior contents
     REDUCE = "reduce"  # commutative accumulation (e.g. +=)
 
-    @property
-    def reads(self) -> bool:
-        """Whether prior contents must be staged."""
-        return self in (Privilege.READ, Privilege.WRITE)
+    # ``reads``/``writes`` are plain precomputed attributes (below):
+    # they are consulted per requirement per launch, where a property
+    # call shows up in host-overhead profiles.
 
-    @property
-    def writes(self) -> bool:
-        """Whether the task produces new contents."""
-        return self in (Privilege.WRITE, Privilege.WRITE_DISCARD, Privilege.REDUCE)
+
+# reads: whether prior contents must be staged.
+# writes: whether the task produces new contents.
+for _p in Privilege:
+    _p.reads = _p in (Privilege.READ, Privilege.WRITE)
+    _p.writes = _p is not Privilege.READ
+del _p

@@ -60,6 +60,20 @@ class Profiler:
     copy_count: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     copy_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     task_counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    # Host fast path (repro.legion.fastpath): wall-clock seconds the
+    # host process spent per runtime phase ("window-flush",
+    # "dependence", "constraint-solve", "mapping", "event-advance") and
+    # cache hit/miss counters (lookup_hits/lookup_misses for the
+    # instance lookup cache, solve_hits/solve_misses for the
+    # constraint-solve memo, batched_writes for coherence writes
+    # applied via write_complete).  Host phases measure real time on
+    # the machine running the simulation, not simulated time.
+    host_phase_seconds: Dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    fastpath_counters: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
     events: List[Tuple[str, float, float]] = field(default_factory=list)
     record_events: bool = False
 
@@ -131,6 +145,10 @@ class Profiler:
     def record_reexecution(self, count: int = 1) -> None:
         """Count tasks re-executed by post-loss journal replay."""
         self.tasks_reexecuted += count
+
+    def record_host_phase(self, phase: str, seconds: float) -> None:
+        """Accumulate host wall-clock time spent in a runtime phase."""
+        self.host_phase_seconds[phase] += seconds
 
     def record_event(self, name: str, start: float, finish: float) -> None:
         """Record a (name, start, finish) event if enabled."""
@@ -211,6 +229,20 @@ class Profiler:
                 f"({self.checkpoint_bytes:,}B), "
                 f"{self.tasks_reexecuted} tasks re-executed"
             )
+        if any(self.host_phase_seconds.values()):
+            phases = ", ".join(
+                f"{k}={v:.3f}s"
+                for k, v in sorted(self.host_phase_seconds.items())
+                if v
+            )
+            lines.append(f"host phases:      {phases}")
+        if any(self.fastpath_counters.values()):
+            caches = ", ".join(
+                f"{k}={v}"
+                for k, v in sorted(self.fastpath_counters.items())
+                if v
+            )
+            lines.append(f"fastpath caches:  {caches}")
         top = sorted(self.task_counts.items(), key=lambda kv: -kv[1])[:5]
         if top:
             lines.append("hottest tasks:")

@@ -24,7 +24,7 @@ class Region:
 
     __slots__ = (
         "uid", "shape", "dtype", "data", "name", "_runtime", "mem_scale",
-        "__weakref__",
+        "_rect", "_nbytes", "__weakref__",
     )
 
     def __init__(
@@ -53,6 +53,9 @@ class Region:
         self.data = data
         self.name = name or f"region{self.uid}"
         self._runtime = runtime
+        # Memoized full-index rect (shape is immutable after init).
+        self._rect = Rect.from_shape(self.shape)
+        self._nbytes = None
         # Per-region memory magnification override; None uses the
         # runtime's data_scale.  Benchmarks use this when different
         # problem axes (ratings vs. users vs. items) shrink by
@@ -67,7 +70,7 @@ class Region:
     @property
     def rect(self) -> Rect:
         """The full index rect."""
-        return Rect.from_shape(self.shape)
+        return self._rect
 
     @property
     def itemsize(self) -> int:
@@ -76,8 +79,13 @@ class Region:
 
     @property
     def nbytes(self) -> int:
-        """Logical size in bytes."""
-        return int(np.prod(self.shape, dtype=np.int64)) * self.itemsize
+        """Logical size in bytes (memoized; shape is immutable)."""
+        nb = self._nbytes
+        if nb is None:
+            nb = self._nbytes = (
+                int(np.prod(self.shape, dtype=np.int64)) * self.itemsize
+            )
+        return nb
 
     def view(self, rect: Rect) -> np.ndarray:
         """A writable view of the backing array restricted to ``rect``."""

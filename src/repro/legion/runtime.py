@@ -27,6 +27,7 @@ from __future__ import annotations
 import contextlib
 import math
 from dataclasses import dataclass, field
+from time import perf_counter as _perf
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.analysis.recorder import validation_default as _validation_default
 from repro.analysis.sanitizer import poison as _poison
 from repro.analysis.sanitizer import readonly_view as _readonly_view
 from repro.geometry import Rect
+from repro.legion import fastpath as _fastpath
 from repro.legion import fusion
 from repro.legion.chaos import ChaosConfig, ChaosInjector, chaos_default
 from repro.legion.coherence import RegionCoherence
@@ -145,6 +147,16 @@ class RuntimeConfig:
     # comparison systems and under harness.config.paper_legate, whose
     # Fig. 11/12 OOM outcomes are the published result.
     spill: bool = True
+    # Host-side fast path (repro.legion.fastpath): batched coherence
+    # write analysis, a version-checked instance lookup cache, memoized
+    # constraint solving by structural signature, and the deferred
+    # window's reference counts.  This trades host CPU for nothing
+    # simulated: modeled times, event logs and numerics are
+    # bitwise-identical with the flag off (the overhead bench and
+    # tests/legion/test_fastpath.py enforce it).  On by default; pinned
+    # off under harness.config.paper_legate so the published figure
+    # paths exercise the original per-requirement analyses.
+    fastpath: bool = True
     # Deterministic fault injection (repro.legion.chaos): None means no
     # injection; defaults from the REPRO_CHAOS environment variable.
     chaos: Optional[ChaosConfig] = field(default_factory=chaos_default)
@@ -285,6 +297,13 @@ class Runtime:
         self._fusion_cache: Dict[
             tuple, Tuple[List[fusion.GroupPlan], List["object"]]
         ] = {}
+        # Generated nest specs per (window signature, group, elided /
+        # dead local ids, step dtypes).  Nest kernels reference only
+        # mangled requirement names — never regions — so a spec is
+        # reusable across structurally identical windows; dtypes join
+        # the key because the window signature does not carry them and
+        # each step's cast target is baked into the source.
+        self._nest_cache: Dict[tuple, "object"] = {}
         # Every executed window group, in order: (sub-launch names,
         # number of elided temporaries, verdict label) where the label
         # is depend.verdict_label — "single", "merged" or
@@ -324,6 +343,31 @@ class Runtime:
         # Region metadata the spill/checkpoint paths need after mapping
         # (uid -> (name, itemsize)); dropped on free.
         self._region_meta: Dict[int, Tuple[str, int]] = {}
+        # Host fast path (repro.legion.fastpath, RuntimeConfig.fastpath):
+        # the version-checked instance lookup cache, the constraint-solve
+        # memo consulted by AutoTask.execute, per-region-uid reference
+        # counts over the deferred window (replacing free_region's
+        # window scan), and the in-flight batched-write map (region
+        # name -> (coherence, [(mem_uid, rect, t)])) that _execute
+        # defers per-color mark_written calls into.  All None/empty
+        # when the fast path is off.
+        self._lookup_cache = (
+            _fastpath.InstanceLookupCache() if self.config.fastpath else None
+        )
+        self._image_cache = (
+            _fastpath.ImagePartitionCache() if self.config.fastpath else None
+        )
+        self._solve_memo = _fastpath.SolveMemo()
+        self._window_refs: Dict[int, int] = {}
+        self._pending_writes: Optional[dict] = None
+        if self.timeline is not None:
+            # Live references: save() then serializes the totals as of
+            # export time without extra plumbing.
+            self.timeline.meta["fastpath"] = self.config.fastpath
+            self.timeline.meta["host_phases"] = (
+                self.profiler.host_phase_seconds
+            )
+            self.timeline.meta["caches"] = self.profiler.fastpath_counters
 
     # ------------------------------------------------------------------
     # Region management
@@ -371,11 +415,18 @@ class Runtime:
         are unaffected)."""
         if self._journaling:
             self._freed_uids.add(region.uid)
-        if any(
-            req.region.uid == region.uid
-            for task in self._window
-            for req in task.requirements
-        ):
+        if self.config.fastpath:
+            # O(1) window-reference check: launch() counts each pending
+            # launch's region uids into _window_refs (cleared when the
+            # window swaps out for flushing).
+            referenced = self._window_refs.get(region.uid, 0) > 0
+        else:
+            referenced = any(
+                req.region.uid == region.uid
+                for task in self._window
+                for req in task.requirements
+            )
+        if referenced:
             self._deferred_frees.append(region.uid)
         else:
             self._coherence.pop(region.uid, None)
@@ -560,6 +611,11 @@ class Runtime:
             self.flush_window()
             return self._execute(task)
         self._window.append(task)
+        if self.config.fastpath:
+            refs = self._window_refs
+            for req in task.requirements:
+                uid = req.region.uid
+                refs[uid] = refs.get(uid, 0) + 1
         if len(self._window) >= self.config.fusion_window:
             self.flush_window()
         return None
@@ -570,6 +626,9 @@ class Runtime:
             return
         window, self._window = self._window, []
         frees, self._deferred_frees = self._deferred_frees, []
+        if self._window_refs:
+            self._window_refs.clear()
+        t0 = _perf()
         try:
             self._flush(window, frees)
         finally:
@@ -579,6 +638,7 @@ class Runtime:
                 self._coherence.pop(uid, None)
                 self._region_meta.pop(uid, None)
                 self.instances.free_region(uid)
+            self.profiler.record_host_phase("window-flush", _perf() - t0)
 
     def _flush(self, window: List[TaskLaunch], frees: Sequence[int] = ()) -> None:
         # Lazy imports: the analyzer/codegen reach repro.numeric, whose
@@ -586,6 +646,7 @@ class Runtime:
         from repro.analysis import depend
         from repro.distal import codegen
 
+        t0 = _perf()
         summaries = [fusion.summarize_launch(task) for task in window]
         key = fusion.signature(summaries)
         local = fusion.local_ids(summaries)
@@ -598,6 +659,7 @@ class Runtime:
             cached = (plans, verdicts)
             self._fusion_cache[key] = cached
         plans, verdicts = cached
+        self.profiler.record_host_phase("dependence", _perf() - t0)
         uid_of = {lid: uid for uid, lid in local.items()}
         freed = frozenset(frees)
         for plan, verdict in zip(plans, verdicts):
@@ -615,8 +677,29 @@ class Runtime:
                     # provably dead: their stores are unobservable, so
                     # the nest keeps them as values only.
                     dead = frozenset(u for u in elide_uids if u in freed)
-                    nplan = depend.build_nest_plan(group, elide_uids, dead)
-                    nest = codegen.generate_nest(nplan)
+                    nest_key = (
+                        key,
+                        plan.indices,
+                        plan.elide,
+                        frozenset(local[u] for u in dead),
+                        tuple(
+                            str(
+                                next(
+                                    r.region.data.dtype
+                                    for r in t.requirements
+                                    if r.name == t.pointwise.out
+                                )
+                            )
+                            for t in group
+                        ),
+                    )
+                    nest = self._nest_cache.get(nest_key)
+                    if nest is None:
+                        nplan = depend.build_nest_plan(
+                            group, elide_uids, dead
+                        )
+                        nest = codegen.generate_nest(nplan)
+                        self._nest_cache[nest_key] = nest
                     self.profiler.record_kernel_merge(
                         len(plan.indices), nest.temps_eliminated
                     )
@@ -647,6 +730,36 @@ class Runtime:
         coherence/placement state — which is why a recovered run is
         bitwise-identical to a fault-free one by construction.
         """
+        try:
+            return self._execute_task(task, replay)
+        except BaseException:
+            # A shard failure mid-launch must not leave batched
+            # coherence writes dangling: replay them sequentially so
+            # the region tree holds the exact slow-path partial state.
+            self._flush_pending_writes()
+            raise
+
+    def _flush_pending_writes(self) -> None:
+        """Apply deferred coherence writes sequentially (slow-path order).
+
+        Called when something needs the region tree mid-launch — memory
+        pressure relief scans every region's coherence, and an exception
+        abandons the launch with writes already performed.  Replaying
+        the deferred ``(memory, rect, time)`` triples through
+        ``mark_written`` in issue order reproduces the exact partial
+        state the slow path would hold at this point.
+        """
+        pending = self._pending_writes
+        if pending is None:
+            return
+        self._pending_writes = None
+        for coh, writes in pending.values():
+            for mem_uid, rect, t in writes:
+                coh.mark_written(mem_uid, rect, t)
+
+    def _execute_task(
+        self, task: TaskLaunch, replay: bool = False
+    ) -> Optional[Future]:
         chaos = self._chaos
         if chaos is not None and not replay and not self._in_recovery:
             due = chaos.take_losses(self.issue_time)
@@ -687,6 +800,29 @@ class Runtime:
         partial_times: List[float] = []
         reduce_writes: Dict[str, List[Tuple[Rect, Memory, float]]] = {}
 
+        # Host fast path: requirements whose final coherence state is
+        # independent of per-color write order (sole toucher of its
+        # region, disjoint Tiling over that region) defer their writes
+        # and apply them in one batch after the color loop — turning the
+        # O(colors^2) incremental invalidation into one linear pass.
+        if self.config.fastpath:
+            # Any task write to a region invalidates cached images of
+            # it (images read region data at solve time).
+            image_cache = self._image_cache
+            for req in task.requirements:
+                if req.privilege.writes:
+                    image_cache.bump(req.region.uid)
+            eligible = _fastpath.eligible_write_reqs(
+                task, replay, self._freed_uids
+            )
+            if eligible:
+                self._pending_writes = {
+                    name: (self.coherence(req.region), [])
+                    for name, req in eligible.items()
+                }
+        map_s = 0.0
+        event_s = 0.0
+
         for color in range(colors):
             proc = procs[color % len(procs)]
             memory = proc.memory
@@ -699,6 +835,7 @@ class Runtime:
             arrays: Dict[str, np.ndarray] = {}
             rects: Dict[str, Rect] = {}
             skipped: set = set()
+            t_map = _perf()
             for req in task.requirements:
                 if replay and req.region.uid in self._freed_uids:
                     # The region was freed after this journaled launch:
@@ -761,6 +898,7 @@ class Runtime:
                         t_input = self._stage_reads(
                             req.region, memory, piece, t_input, replay=replay
                         )
+            map_s += _perf() - t_map
 
             ctx = ShardContext(
                 color, colors, arrays, rects, scalar_values, self.config,
@@ -797,6 +935,7 @@ class Runtime:
                     partials.append(partial)
                     partial_times.append(finish)
 
+            t_event = _perf()
             for req in task.requirements:
                 if req.name in skipped:
                     continue
@@ -808,9 +947,20 @@ class Runtime:
                         (rect, memory, finish)
                     )
                 else:
-                    self.coherence(req.region).mark_written(
-                        memory.uid, rect, finish
+                    # Re-read _pending_writes each iteration: pressure
+                    # relief mid-launch flushes it and later writes must
+                    # go direct.
+                    pending = (
+                        None if self._pending_writes is None
+                        else self._pending_writes.get(req.name)
                     )
+                    if pending is not None:
+                        pending[1].append((memory.uid, rect, finish))
+                    else:
+                        self.coherence(req.region).mark_written(
+                            memory.uid, rect, finish
+                        )
+            event_s += _perf() - t_event
 
             if log is not None:
                 log.record_shard(
@@ -827,6 +977,24 @@ class Runtime:
                     ],
                     start, finish, replay=replay,
                 )
+
+        pending_map = self._pending_writes
+        if pending_map is not None:
+            # All colors done: the deferred writes cover each region
+            # with disjoint tiles, so one batched rebuild lands the
+            # exact state the sequential invalidations would have.
+            self._pending_writes = None
+            t_event = _perf()
+            counters = self.profiler.fastpath_counters
+            for coh, writes in pending_map.values():
+                if writes:
+                    coh.write_complete(writes)
+                    counters["batched_writes"] += len(writes)
+            event_s += _perf() - t_event
+        if map_s:
+            self.profiler.record_host_phase("mapping", map_s)
+        if event_s:
+            self.profiler.record_host_phase("event-advance", event_s)
 
         for req in task.requirements:
             if req.name in reduce_writes:
@@ -934,11 +1102,27 @@ class Runtime:
                     )
                 t_input += pause
                 continue
+            cache = self._lookup_cache
+            if cache is not None:
+                # Version-checked hit: the memory's instance set has not
+                # changed since this (memory, region, rect) resolved, so
+                # ensure() would find-hit the same instance.  Replicate
+                # its LRU side effect and skip the search.
+                st = self.instances.state(memory)
+                key = (memory.uid, req.region.uid, rect)
+                inst = cache.get(key, st.version)
+                if inst is not None:
+                    st.touch(inst)
+                    self.profiler.fastpath_counters["lookup_hits"] += 1
+                    return inst, 0, False, t_input
             try:
                 inst, resize_bytes, fresh = self.instances.ensure(
                     memory, req.region.uid, rect, req.region.itemsize,
                     scale=self._mem_scale(req.region),
                 )
+                if cache is not None:
+                    cache.put(key, inst, st.version)
+                    self.profiler.fastpath_counters["lookup_misses"] += 1
                 return inst, resize_bytes, fresh, t_input
             except OutOfMemoryError as exc:
                 if not self.config.spill:
@@ -979,6 +1163,9 @@ class Runtime:
         never touched.  Returns ``(ready_time, scaled_bytes_freed)``;
         zero freed means the caller's OOM is genuine.
         """
+        # Spill decisions read every region's coherence (only_copy):
+        # batched writes must land first so dirtiness is current.
+        self._flush_pending_writes()
         st = self.instances.state(memory)
         before = st.available
         st.drain_pool()
@@ -1172,6 +1359,40 @@ class Runtime:
         owner = task.fold_partition or Tiling.create(req.region, colors)
         coh = self.coherence(req.region)
         procs = self.scope.processors
+        # Host fast path: the fold loop reads no coherence, and a Tiling
+        # owner covers the region with disjoint tiles, so the per-color
+        # mark_written calls can be batched into one write_complete.
+        batch: Optional[List[Tuple[int, Rect, float]]] = None
+        if (
+            self.config.fastpath
+            and type(owner) is Tiling
+            and owner.region.uid == req.region.uid
+        ):
+            batch = []
+        try:
+            self._fold_loop(
+                task, req, writes, owner, coh, procs, launch_id, batch
+            )
+        except BaseException:
+            if batch:
+                for mem_uid, tile, t in batch:
+                    coh.mark_written(mem_uid, tile, t)
+            raise
+        if batch:
+            coh.write_complete(batch)
+            self.profiler.fastpath_counters["batched_writes"] += len(batch)
+
+    def _fold_loop(
+        self,
+        task: TaskLaunch,
+        req: Requirement,
+        writes: List[Tuple[Rect, Memory, float]],
+        owner: Partition,
+        coh: RegionCoherence,
+        procs,
+        launch_id: int,
+        batch: Optional[List[Tuple[int, Rect, float]]],
+    ) -> None:
         for color in range(owner.color_count):
             proc = procs[color % len(procs)]
             memory = proc.memory
@@ -1210,7 +1431,10 @@ class Runtime:
                         t_start, t_start + fold_time,
                         nbytes=int(nbytes * self.config.data_scale),
                     )
-            coh.mark_written(memory.uid, tile, t_done)
+            if batch is not None:
+                batch.append((memory.uid, tile, t_done))
+            else:
+                coh.mark_written(memory.uid, tile, t_done)
             if self.event_log is not None:
                 self.event_log.record_fold(
                     launch_id, task.name, req.region.uid, req.region.name,

@@ -141,7 +141,13 @@ class Timeline:
     def __init__(self, name: str = "", meta: Optional[Dict[str, Any]] = None):
         self.name = name
         self.meta: Dict[str, Any] = dict(meta or {})
-        self.spans: List[Span] = []
+        # Column store: one parallel list per Span field.  Recording
+        # appends seven primitives instead of constructing a Span
+        # object, and save() serializes the columns directly; Span
+        # objects only materialize lazily via the ``spans`` property
+        # when an analysis pass actually needs them.
+        self._cols: Tuple[list, ...] = ([], [], [], [], [], [], [])
+        self._spans_cache: Optional[List[Span]] = None
         # The latest sync-point clock the owning runtime observed
         # (Runtime.elapsed()/barrier() note it here) so offline
         # analysis of a saved log uses the exact program horizon.
@@ -161,9 +167,43 @@ class Timeline:
         flops: float = 0.0,
     ) -> None:
         """Append one span (times on the simulated clock)."""
-        self.spans.append(
-            Span(category, resource, name, start, finish, int(nbytes), float(flops))
-        )
+        cols = self._cols
+        cols[0].append(category)
+        cols[1].append(resource)
+        cols[2].append(name)
+        cols[3].append(start)
+        cols[4].append(finish)
+        cols[5].append(int(nbytes))
+        cols[6].append(float(flops))
+        self._spans_cache = None
+
+    @property
+    def spans(self) -> List[Span]:
+        """The recorded spans, materialized (and cached) on demand."""
+        cache = self._spans_cache
+        if cache is None:
+            cache = [Span(*row) for row in zip(*self._cols)]
+            self._spans_cache = cache
+        return cache
+
+    def as_arrays(self) -> Dict[str, Any]:
+        """The span log as NumPy arrays (offline/batched analysis).
+
+        ``category``/``resource``/``name`` are object arrays;
+        ``start``/``finish``/``flops`` are float64; ``nbytes`` int64.
+        """
+        import numpy as np
+
+        cols = self._cols
+        return {
+            "category": np.asarray(cols[0], dtype=object),
+            "resource": np.asarray(cols[1], dtype=object),
+            "name": np.asarray(cols[2], dtype=object),
+            "start": np.asarray(cols[3], dtype=np.float64),
+            "finish": np.asarray(cols[4], dtype=np.float64),
+            "nbytes": np.asarray(cols[5], dtype=np.int64),
+            "flops": np.asarray(cols[6], dtype=np.float64),
+        }
 
     def note_horizon(self, t: float) -> None:
         """Record a sync-point clock reading (keeps the max)."""
@@ -171,11 +211,11 @@ class Timeline:
             self.horizon = t
 
     def __len__(self) -> int:
-        return len(self.spans)
+        return len(self._cols[0])
 
     def resources(self) -> List[str]:
         """Every resource that recorded at least one span, sorted."""
-        return sorted({s.resource for s in self.spans})
+        return sorted(set(self._cols[1]))
 
     # ------------------------------------------------------------------
     # Utilization and gap analysis
@@ -320,10 +360,10 @@ class Timeline:
             "name": self.name,
             "meta": self.meta,
             "horizon": self.horizon,
-            "spans": [
-                [s.category, s.resource, s.name, s.start, s.finish, s.nbytes, s.flops]
-                for s in self.spans
-            ],
+            # Serialized straight from the column store: identical
+            # row-major [category, resource, name, start, finish,
+            # nbytes, flops] rows, no Span materialization.
+            "spans": [list(row) for row in zip(*self._cols)],
         }
         with open(path, "w") as fh:
             json.dump(payload, fh)
@@ -338,8 +378,8 @@ class Timeline:
         timeline = cls(name=payload.get("name", ""), meta=payload.get("meta"))
         timeline.horizon = float(payload.get("horizon", 0.0))
         for cat, res, name, start, finish, nbytes, flops in payload["spans"]:
-            timeline.spans.append(
-                Span(cat, res, name, float(start), float(finish), int(nbytes), flops)
+            timeline.record(
+                cat, res, name, float(start), float(finish), int(nbytes), flops
             )
         return timeline
 
