@@ -1,8 +1,8 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test validate check lint advise autoformat bench chaos profile \
-	kernel-fusion overhead
+.PHONY: test validate check lint advise autoformat bench chaos soak \
+	profile kernel-fusion overhead
 
 test:
 	python -m pytest -x -q
@@ -63,6 +63,15 @@ overhead:
 # the fault-free baseline, checker-clean and within bounded overhead.
 chaos:
 	python scripts/chaos.py
+
+# Chaos soak fuzzer: seeded randomized multi-fault schedules (concurrent
+# node+GPU losses, losses during checkpoint drains and journal replays,
+# fault storms at varying replica counts) against the fig9 CG loop,
+# writes BENCH_soak.json and fails if any scenario breaks the soak
+# invariant: complete bitwise-identical with a checker-clean log, or
+# raise a clean FaultError — never a silent wrong answer.
+soak:
+	python scripts/soak.py
 
 # Timeline profiling: fig9 CG + fig10 GMG with span recording on.
 # Writes Chrome traces (open in chrome://tracing or ui.perfetto.dev)

@@ -70,6 +70,30 @@ python scripts/overhead.py --smoke \
 echo "== chaos bench smoke (fault schedules vs baseline, writes BENCH_chaos.json) =="
 python scripts/chaos.py --output BENCH_chaos.json > /dev/null
 
+echo "== chaos soak smoke (seeded multi-fault schedules, writes BENCH_soak.smoke.json) =="
+# A small seeded soak: the driver exits non-zero if any scenario breaks
+# the invariant (bitwise + checker-clean, or a clean FaultError), and
+# the payload must show the pinned replicas=2 schedule surviving the
+# loss of node 0 — the primary checkpoint store.  The full ≥20-scenario
+# payload is BENCH_soak.json (make soak).
+python scripts/soak.py --scenarios 6 --output BENCH_soak.smoke.json > /dev/null
+python - <<'PYEOF'
+import json
+with open("BENCH_soak.smoke.json") as fh:
+    payload = json.load(fh)
+s = payload["summary"]
+assert s["silent_corruptions"] == 0, "soak produced a silent wrong answer"
+assert s["invariant_violations"] == 0, "soak invariant broken"
+assert s["node0_loss_replicated_survivals"] >= 1, (
+    "no replicated run survived a node-0 (primary store) loss"
+)
+print(
+    f"BENCH_soak OK: {s['scenarios']} scenarios, "
+    f"{s['survived_with_faults']} survived with faults, "
+    f"{s['fault_errors']} clean fault-errors"
+)
+PYEOF
+
 echo "== format bench smoke (CSR vs advised format, writes BENCH_format.json) =="
 python scripts/format.py --output BENCH_format.json > /dev/null
 

@@ -1098,6 +1098,99 @@ def _lint_kernel_merge(predictor: _Predictor) -> None:
             )
 
 
+def _lint_resilience(predictor: _Predictor) -> None:
+    """The resilience pass: predicted checkpoint cost and fault lints.
+
+    Reads the chaos config the plan would run under and the predictor's
+    replayed coherence (the written sets an epoch would snapshot):
+
+    * ``unprotected-run`` (warning) — losses scheduled with
+      ``checkpoint_every=0``: no epoch bounds the journal, so a loss
+      replays the whole run.
+    * ``under-replicated`` (warning) — node losses with a single
+      checkpoint store (``ckpt_replicas=1``: losing node 0 is
+      unconditionally fatal), or more replicas requested than the
+      machine has sysmem fault domains.
+    * ``resilience`` (note) — predicted snapshot + replication bytes
+      per checkpoint epoch and the estimated worst-case recovery cost
+      (detection latency + restart delay + replica restore + replay of
+      a full epoch's launches).
+    """
+    chaos = getattr(predictor.config, "chaos", None)
+    if chaos is None:
+        return
+    machine = predictor.machine
+    domains = len(
+        {m.node for m in machine.memories if m.kind == MemoryKind.SYSMEM}
+    )
+    replicas = getattr(chaos, "ckpt_replicas", 1)
+    effective = min(replicas, domains) if domains else 0
+    node_losses = [l for l in chaos.losses if l.kind == "node"]
+
+    # Predicted per-epoch snapshot: the written volume at end of plan
+    # (what a steady-state epoch must protect), scaled like the
+    # runtime's checkpoint copies.
+    snap_bytes = 0.0
+    for uid, coh in predictor.coherence.items():
+        if coh.written.is_empty():
+            continue
+        itemsize = getattr(predictor.regions.get(uid), "itemsize", 8)
+        snap_bytes += coh.written.volume() * itemsize
+    snap_bytes *= predictor.config.effective_comm_scale
+    repl_bytes = snap_bytes * max(effective - 1, 0)
+
+    if chaos.losses and chaos.checkpoint_every == 0:
+        predictor._finding(
+            "warning", "unprotected-run",
+            f"{len(chaos.losses)} loss(es) scheduled with "
+            f"checkpoint_every=0: no checkpoint epoch bounds the "
+            f"journal, so any loss replays the entire run (and at "
+            f"ckpt_replicas=1 a node-0 loss is fatal with nothing "
+            f"snapshotted at all)",
+        )
+    if node_losses and replicas == 1:
+        predictor._finding(
+            "warning", "under-replicated",
+            f"{len(node_losses)} node loss(es) scheduled with "
+            f"ckpt_replicas=1: the single node-0 checkpoint store is a "
+            f"single point of failure — losing its node is "
+            f"unconditionally fatal; set ckpt_replicas >= 2 to survive "
+            f"store loss",
+        )
+    if replicas > domains > 0:
+        predictor._finding(
+            "warning", "under-replicated",
+            f"ckpt_replicas={replicas} exceeds the machine's {domains} "
+            f"sysmem fault domain(s); effective replication is only "
+            f"{effective}",
+        )
+    if chaos.checkpoint_every > 0 or chaos.losses:
+        detect = getattr(chaos, "heartbeat_period", 0.0) + getattr(
+            chaos, "detection_timeout", 0.0
+        )
+        launches = max(len(predictor.task_ops), 1)
+        # Replay re-times kernels and launch overhead (it skips only
+        # the numerics), so a replayed launch costs about what the
+        # original did.
+        per_launch = (
+            predictor.est_kernel_seconds / launches
+            + predictor.config.launch_overhead
+        )
+        epoch = chaos.checkpoint_every or launches
+        nic_bw = machine.config.nic_bandwidth
+        restore = snap_bytes / nic_bw if nic_bw else 0.0
+        worst = detect + chaos.recovery_delay + restore + epoch * per_launch
+        predictor._finding(
+            "note", "resilience",
+            f"checkpoint epoch snapshots ~{_fmt_bytes(int(snap_bytes))} "
+            f"x{max(effective, 1)} replica store(s) "
+            f"(~{_fmt_bytes(int(repl_bytes))} replication traffic); "
+            f"worst-case recovery ~{worst:.3e}s (detection {detect:.1e}s "
+            f"+ restart {chaos.recovery_delay:.1e}s + replica restore + "
+            f"replay of <= {epoch} launches)",
+        )
+
+
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
@@ -1193,6 +1286,7 @@ def analyze(
     _lint_capacity_pressure(predictor)
     _lint_fusion(predictor)
     _lint_kernel_merge(predictor)
+    _lint_resilience(predictor)
 
     format_advice: List[FormatAdvice] = []
     if options.autoformat:

@@ -115,11 +115,13 @@ def check_log(log: EventLog, max_violations: int = 100) -> List[Violation]:
             break
         if isinstance(ev, CopyEvent):
             names.setdefault(ev.region, ev.region_name)
-            if ev.why not in ("stage", "spill", "checkpoint"):
+            if ev.why not in ("stage", "spill", "checkpoint", "restore"):
                 # Fold transfers carry REDUCE partials, not region
-                # contents; they establish nothing.  Spill and
-                # checkpoint copies move real region contents (dirty
-                # pieces to system memory) and do establish validity.
+                # contents; they establish nothing.  Spill, checkpoint
+                # and restore copies move real region contents (dirty
+                # pieces to/between checkpoint stores) and do establish
+                # validity — replica copies establish, confirmed loss
+                # (FaultEvent below) drops.
                 continue
             st = state(ev.region)
             # The source must itself have been able to supply the bytes.

@@ -168,6 +168,26 @@ class CheckpointEvent:
     kind: str = "checkpoint"
 
 
+@dataclass(frozen=True)
+class DetectionEvent:
+    """The modeled failure detector's state machine for one loss.
+
+    A loss at simulated time ``at`` is *suspected* at the next
+    heartbeat tick (``suspected``) and *confirmed* after the detection
+    timeout (``confirmed``); recovery cannot begin before confirmation.
+    Pure annotation for the checker — validity transitions ride the
+    companion :class:`FaultEvent`.
+    """
+
+    seq: int
+    fault: str  # "gpu-loss" | "node-loss"
+    target: int
+    at: float
+    suspected: float
+    confirmed: float
+    kind: str = "detection"
+
+
 Event = object  # union of the dataclasses above
 
 
@@ -260,6 +280,19 @@ class EventLog:
     def record_checkpoint(self, nbytes: int, regions: int) -> None:
         """Record one checkpoint epoch."""
         self.events.append(CheckpointEvent(self._next(), int(nbytes), regions))
+
+    def record_detection(
+        self,
+        fault: str,
+        target: int,
+        at: float,
+        suspected: float,
+        confirmed: float,
+    ) -> None:
+        """Record one loss's suspected -> confirmed detector transition."""
+        self.events.append(
+            DetectionEvent(self._next(), fault, target, at, suspected, confirmed)
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -361,6 +394,12 @@ def _event_to_json(ev) -> dict:
             "kind": "checkpoint", "seq": ev.seq, "nbytes": ev.nbytes,
             "regions": ev.regions,
         }
+    if isinstance(ev, DetectionEvent):
+        return {
+            "kind": "detection", "seq": ev.seq, "fault": ev.fault,
+            "target": ev.target, "at": ev.at,
+            "suspected": ev.suspected, "confirmed": ev.confirmed,
+        }
     raise TypeError(f"unknown event {ev!r}")
 
 
@@ -403,4 +442,9 @@ def _event_from_json(obj: dict):
         )
     if kind == "checkpoint":
         return CheckpointEvent(obj["seq"], obj["nbytes"], obj["regions"])
+    if kind == "detection":
+        return DetectionEvent(
+            obj["seq"], obj["fault"], obj["target"], obj["at"],
+            obj["suspected"], obj["confirmed"],
+        )
     raise ValueError(f"unknown event kind {kind!r}")

@@ -1,0 +1,333 @@
+"""Chaos soak fuzzer: randomized multi-fault schedules vs. fig9 CG.
+
+Where :mod:`repro.harness.chaos_bench` measures three hand-picked fault
+schedules, the soak fuzzer *searches* the failure space: a seeded RNG
+generates scenario after scenario of randomized multi-fault schedules —
+concurrent node+GPU losses, losses timed to land during checkpoint
+drains and journal replays, fault storms — at varying replica counts,
+detection latencies and checkpoint cadences, and runs each against the
+Fig. 9 CG loop.
+
+Every scenario is judged against the **soak invariant**:
+
+    the run either completes *bitwise-identical* to the fault-free
+    baseline with a checker-clean event log, or raises a clean
+    :class:`FaultError` naming what was exhausted — never a silent
+    wrong answer.
+
+Scenario 0 is pinned (not random): a ``ckpt_replicas=2`` schedule that
+loses node 0's sysmem mid-solve and must *complete* — the acceptance
+criterion that Resilience 2.0 removed PR 4's single point of failure.
+
+:func:`run_soak` packages everything into the ``BENCH_soak.json``
+payload written by ``scripts/soak.py``; per-scenario records carry
+recovery-cost and detection-latency stats from the profiler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro.numeric as rnp
+import repro.sparse as sp
+from repro.analysis.checker import check_log
+from repro.apps.poisson import poisson2d_scipy
+from repro.legion.chaos import ChaosConfig, LossSchedule
+from repro.legion.exceptions import FaultError
+from repro.legion.runtime import Runtime, RuntimeConfig, runtime_scope
+from repro.machine import ProcessorKind, summit
+
+SOAK_GRID = 20  # 400-row 2-D Poisson: small enough to soak many runs
+SOAK_ITERS = 6
+SOAK_NODES = 2
+SOAK_PROCS = 4
+# Randomized schedules draw from these pools.
+_CKPT_CADENCES = (4, 6, 8, 12)
+_HEARTBEATS = (0.0, 1e-4, 2.5e-4)
+_TIMEOUTS = (0.0, 5e-5, 2e-4)
+_FAMILIES = (
+    "gpu_loss",       # one GPU framebuffer vanishes
+    "node_loss",      # one whole node (sysmem + framebuffers)
+    "concurrent",     # node + GPU lost at the same instant
+    "replay_storm",   # second loss timed to land during recovery replay
+    "ckpt_drain",     # dense cadence, loss near an epoch boundary
+    "storm",          # 3-4 mixed losses across the solve window
+    "unprotected",    # losses with checkpoint_every=0 (journal from start)
+)
+
+
+def _digest(arr) -> str:
+    data = arr.to_numpy()
+    return hashlib.sha256(data.tobytes()).hexdigest()
+
+
+def _measure(
+    chaos: Optional[ChaosConfig],
+    nodes: int = SOAK_NODES,
+    procs: int = SOAK_PROCS,
+    grid: int = SOAK_GRID,
+    iters: int = SOAK_ITERS,
+) -> Dict:
+    """One fig9-style CG run under a fault schedule; returns metrics."""
+    machine = summit(nodes=nodes)
+    rt = Runtime(
+        machine.scope(ProcessorKind.GPU, procs, per_node=max(1, procs // nodes)),
+        RuntimeConfig.legate(chaos=chaos, validate=True),
+    )
+    with runtime_scope(rt):
+        A = sp.csr_matrix(poisson2d_scipy(grid))
+        b = rnp.ones(grid * grid)
+        sp.linalg.cg(A, b, rtol=0.0, maxiter=1)  # warm-up
+        t0 = rt.barrier()
+        x, _info = sp.linalg.cg(A, b, rtol=0.0, maxiter=iters)
+        t1 = rt.barrier()
+        digest = _digest(x)
+    prof = rt.profiler
+    violations = check_log(rt.event_log)
+    return {
+        "modeled_time_s": t1 - t0,
+        "t_solve_start": t0,
+        "t_solve_end": t1,
+        "faults_injected": {
+            k: v for k, v in sorted(prof.faults_injected.items()) if v
+        },
+        "retries": prof.retries,
+        "checkpoints": prof.checkpoints,
+        "checkpoint_bytes": prof.checkpoint_bytes,
+        "replication_bytes": prof.replication_bytes,
+        "recoveries": prof.recoveries,
+        "restores": prof.restores,
+        "restore_bytes": prof.restore_bytes,
+        "detections": prof.detections,
+        "detection_seconds": prof.detection_seconds,
+        "tasks_reexecuted": prof.tasks_reexecuted,
+        "checker_violations": [str(v) for v in violations],
+        "solution_sha256": digest,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario generation (pure function of the seed)
+# ----------------------------------------------------------------------
+def _loss_time(rng: np.random.Generator, window: Tuple[float, float]) -> float:
+    t0, t1 = window
+    return float(t0 + (0.1 + 0.8 * rng.random()) * (t1 - t0))
+
+
+def _random_scenario(
+    rng: np.random.Generator,
+    index: int,
+    window: Tuple[float, float],
+    nodes: int,
+    procs: int,
+) -> Dict:
+    """Draw one randomized multi-fault scenario spec."""
+    family = _FAMILIES[int(rng.integers(len(_FAMILIES)))]
+    replicas = int(rng.choice([1, 2, 2]))  # bias toward replicated runs
+    cadence = int(rng.choice(_CKPT_CADENCES))
+    heartbeat = float(rng.choice(_HEARTBEATS))
+    timeout = float(rng.choice(_TIMEOUTS))
+    noise = float(rng.choice([0.0, 0.0, 0.02]))
+    losses: List[LossSchedule] = []
+    if family == "gpu_loss":
+        losses.append(LossSchedule("gpu", int(rng.integers(procs)), _loss_time(rng, window)))
+    elif family == "node_loss":
+        losses.append(LossSchedule("node", int(rng.integers(nodes)), _loss_time(rng, window)))
+    elif family == "concurrent":
+        t = _loss_time(rng, window)
+        node = int(rng.integers(nodes))
+        # The concurrent GPU loss hits a *different* node's processor so
+        # the two faults wipe distinct fault domains at one instant.
+        gpu = int(rng.integers(procs))
+        losses.append(LossSchedule("node", node, t))
+        losses.append(LossSchedule("gpu", gpu, t))
+    elif family == "replay_storm":
+        t = _loss_time(rng, window)
+        losses.append(LossSchedule("node", int(rng.integers(nodes)), t))
+        # recovery_delay is 1e-3: a loss ~0.5e-3 later lands inside the
+        # first recovery's stall/replay and exercises re-entrancy.
+        losses.append(LossSchedule("gpu", int(rng.integers(procs)), t + 5e-4))
+    elif family == "ckpt_drain":
+        cadence = 4  # dense epochs: losses land near drain boundaries
+        losses.append(LossSchedule("node", int(rng.integers(nodes)), _loss_time(rng, window)))
+        losses.append(LossSchedule("gpu", int(rng.integers(procs)), _loss_time(rng, window)))
+    elif family == "storm":
+        for _ in range(int(rng.integers(3, 5))):
+            kind = "node" if rng.random() < 0.4 else "gpu"
+            target = int(rng.integers(nodes if kind == "node" else procs))
+            losses.append(LossSchedule(kind, target, _loss_time(rng, window)))
+    elif family == "unprotected":
+        cadence = 0
+        losses.append(LossSchedule("gpu", int(rng.integers(procs)), _loss_time(rng, window)))
+    losses.sort(key=lambda l: l.at_time)
+    return {
+        "name": f"s{index:03d}-{family}",
+        "family": family,
+        "chaos": ChaosConfig(
+            seed=int(rng.integers(2**31)),
+            copy_fault_rate=noise,
+            checkpoint_every=cadence,
+            ckpt_replicas=replicas,
+            heartbeat_period=heartbeat,
+            detection_timeout=timeout,
+            losses=tuple(losses),
+        ),
+    }
+
+
+def _pinned_scenario(window: Tuple[float, float]) -> Dict:
+    """The acceptance scenario: replicas=2 survives losing node 0."""
+    t_mid = (window[0] + window[1]) / 2.0
+    return {
+        "name": "s000-node0-replicas2",
+        "family": "node0_replicas2",
+        "chaos": ChaosConfig(
+            seed=1,
+            checkpoint_every=8,
+            ckpt_replicas=2,
+            heartbeat_period=2e-4,
+            detection_timeout=1e-4,
+            losses=(LossSchedule("node", 0, t_mid),),
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# The soak loop
+# ----------------------------------------------------------------------
+def _judge(baseline: Dict, spec: Dict, nodes: int, procs: int) -> Dict:
+    """Run one scenario and judge it against the soak invariant."""
+    chaos = spec["chaos"]
+    record: Dict = {
+        "name": spec["name"],
+        "family": spec["family"],
+        "replicas": chaos.ckpt_replicas,
+        "checkpoint_every": chaos.checkpoint_every,
+        "heartbeat_period": chaos.heartbeat_period,
+        "detection_timeout": chaos.detection_timeout,
+        "losses": [
+            {"kind": l.kind, "target": l.target, "at": l.at_time}
+            for l in chaos.losses
+        ],
+        "chaos": repr(chaos),
+    }
+    try:
+        run = _measure(chaos, nodes=nodes, procs=procs)
+    except FaultError as exc:
+        # A clean, named failure satisfies the invariant: the runtime
+        # refused to produce an answer it could not stand behind.
+        record.update(
+            outcome="fault-error",
+            error=str(exc),
+            invariant_ok=True,
+            silent_corruption=False,
+        )
+        return record
+    except Exception as exc:  # noqa: BLE001 - any other escape is a bug
+        record.update(
+            outcome="crash",
+            error=f"{type(exc).__name__}: {exc}",
+            invariant_ok=False,
+            silent_corruption=False,
+        )
+        return record
+    bitwise = run["solution_sha256"] == baseline["solution_sha256"]
+    clean = not run["checker_violations"]
+    overhead = (
+        run["modeled_time_s"] / baseline["modeled_time_s"]
+        if baseline["modeled_time_s"] > 0
+        else float("inf")
+    )
+    record.update(
+        outcome="completed",
+        bitwise_identical=bitwise,
+        checker_clean=clean,
+        invariant_ok=bitwise and clean,
+        silent_corruption=not (bitwise and clean),
+        overhead_ratio=overhead,
+        **{
+            k: run[k]
+            for k in (
+                "modeled_time_s", "faults_injected", "retries",
+                "checkpoints", "checkpoint_bytes", "replication_bytes",
+                "recoveries", "restores", "restore_bytes", "detections",
+                "detection_seconds", "tasks_reexecuted",
+                "checker_violations",
+            )
+        },
+    )
+    return record
+
+
+def run_soak(
+    scenarios: int = 20,
+    seed: int = 0,
+    nodes: int = SOAK_NODES,
+    procs: int = SOAK_PROCS,
+) -> Dict:
+    """The full BENCH_soak payload: baseline plus ``scenarios`` judged runs.
+
+    Scenario 0 is always the pinned node-0-loss-at-replicas-2
+    acceptance schedule; the rest are drawn from the seeded RNG.  The
+    payload's ``summary`` counts outcomes and aggregates recovery-cost
+    and detection-latency statistics over the completed runs.
+    """
+    baseline = _measure(None, nodes=nodes, procs=procs)
+    window = (baseline["t_solve_start"], baseline["t_solve_end"])
+    rng = np.random.default_rng(seed)
+    specs = [_pinned_scenario(window)]
+    for i in range(1, max(scenarios, 1)):
+        specs.append(_random_scenario(rng, i, window, nodes, procs))
+    records = [_judge(baseline, spec, nodes, procs) for spec in specs]
+
+    completed = [r for r in records if r["outcome"] == "completed"]
+    survived_faults = [
+        r for r in completed if any(r["faults_injected"].values())
+    ]
+    node0_replicated = [
+        r
+        for r in records
+        if r["replicas"] >= 2
+        and any(l["kind"] == "node" and l["target"] == 0 for l in r["losses"])
+        and r["outcome"] == "completed"
+        and r.get("bitwise_identical")
+        and r.get("checker_clean")
+    ]
+    summary = {
+        "scenarios": len(records),
+        "completed": len(completed),
+        "fault_errors": sum(1 for r in records if r["outcome"] == "fault-error"),
+        "crashes": sum(1 for r in records if r["outcome"] == "crash"),
+        "silent_corruptions": sum(1 for r in records if r["silent_corruption"]),
+        "invariant_violations": sum(1 for r in records if not r["invariant_ok"]),
+        "survived_with_faults": len(survived_faults),
+        "node0_loss_replicated_survivals": len(node0_replicated),
+        "total_recoveries": sum(r.get("recoveries", 0) for r in completed),
+        "total_tasks_reexecuted": sum(
+            r.get("tasks_reexecuted", 0) for r in completed
+        ),
+        "mean_detection_seconds": (
+            float(np.mean([r["detection_seconds"] for r in completed]))
+            if completed
+            else 0.0
+        ),
+        "max_overhead_ratio": max(
+            (r["overhead_ratio"] for r in completed), default=0.0
+        ),
+    }
+    return {
+        "benchmark": "chaos soak (randomized multi-fault schedules)",
+        "machine": f"summit:{nodes} x {procs} GPUs (simulated)",
+        "seed": seed,
+        "invariant": (
+            "every run completes bitwise-identical to fault-free with a "
+            "checker-clean event log, or raises a clean FaultError — "
+            "never a silent wrong answer"
+        ),
+        "baseline": baseline,
+        "summary": summary,
+        "scenarios": records,
+    }

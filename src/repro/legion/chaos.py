@@ -35,15 +35,33 @@ Spec keys (comma separated, all optional):
     ``S * 2**(k-1)`` (default 1e-4).
 ``ckpt:N``
     Checkpoint every N task launches (0 = manual checkpoints only).
+``replicas:K``
+    Place each checkpoint epoch's snapshot in the sysmems of K
+    distinct fault domains (nodes).  K=1 (the default) reproduces the
+    original single-store behaviour: losing node 0's sysmem is fatal.
+    With K>=2 recovery survives any loss pattern that leaves at least
+    one replica of every needed piece.
+``heartbeat:T``
+    Heartbeat period of the modeled failure detector in simulated
+    seconds.  A loss at time t is first *suspected* at the next
+    heartbeat tick >= t (0, the default, suspects instantly).
+``detect:T``
+    Detection timeout: a suspected loss is *confirmed* T simulated
+    seconds after suspicion; recovery cannot begin before
+    confirmation, so the stall charges detection + recovery time.
 ``lose-gpu:IDX@T``
     Lose the IDX-th GPU processor of the runtime's scope (its
     framebuffer contents vanish) at simulated time T.
 ``lose-node:N@T``
     Lose node N (every memory on it) at simulated time T.
+
+Every key also accepts ``key=value`` (the ISSUE-9 spelling); the two
+separators may be mixed freely within one spec.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -81,6 +99,15 @@ class ChaosConfig:
     # Automatic checkpoint cadence in *task launches* (deterministic on
     # the launch stream); 0 means only explicit Runtime.checkpoint().
     checkpoint_every: int = 0
+    # k-way checkpoint replication: snapshot pieces land in the sysmems
+    # of this many distinct fault domains (nodes).  1 = the original
+    # node-0 single store (losing it is fatal).
+    ckpt_replicas: int = 1
+    # Modeled failure detection: a loss is *suspected* at the next
+    # heartbeat tick and *confirmed* detection_timeout later; recovery
+    # begins only after confirmation.  Both 0 = instantaneous detection.
+    heartbeat_period: float = 0.0
+    detection_timeout: float = 0.0
     losses: Tuple[LossSchedule, ...] = ()
 
     def __post_init__(self) -> None:
@@ -90,6 +117,35 @@ class ChaosConfig:
                 raise ValueError(f"{name} must be in [0, 1), got {rate}")
         if self.max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if self.ckpt_replicas < 1:
+            raise ValueError(
+                f"ckpt_replicas must be >= 1, got {self.ckpt_replicas}"
+            )
+        for name in ("heartbeat_period", "detection_timeout"):
+            val = getattr(self, name)
+            if val < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {val}")
+
+    def detection_times(self, at_time: float) -> Tuple[float, float]:
+        """``(suspected, confirmed)`` times for a loss at ``at_time``.
+
+        The detector state machine on the simulated clock: the loss is
+        *suspected* at the first heartbeat tick at or after the loss
+        (instantly when ``heartbeat_period`` is 0) and *confirmed*
+        ``detection_timeout`` seconds later.  Deterministic — pure
+        arithmetic on the schedule, no RNG draw.
+        """
+        hb = self.heartbeat_period
+        if hb <= 0.0:
+            suspected = at_time
+        else:
+            # Next tick >= at_time; the epsilon keeps a loss landing
+            # exactly on a tick from being pushed a full period out by
+            # float noise.
+            suspected = math.ceil(at_time / hb - 1e-9) * hb
+            if suspected < at_time:
+                suspected = at_time
+        return suspected, suspected + self.detection_timeout
 
     @classmethod
     def parse(cls, spec: str) -> "ChaosConfig":
@@ -100,7 +156,15 @@ class ChaosConfig:
             item = item.strip()
             if not item:
                 continue
-            key, sep, value = item.partition(":")
+            # Both ``key:value`` (the original spelling) and
+            # ``key=value`` (the ISSUE-9 spelling) are accepted;
+            # whichever separator appears first wins so loss times
+            # ("lose-gpu:1@0.004") parse unambiguously.
+            colon, eq = item.find(":"), item.find("=")
+            if colon < 0 or (0 <= eq < colon):
+                key, sep, value = item.partition("=")
+            else:
+                key, sep, value = item.partition(":")
             if not sep:
                 raise ValueError(f"bad chaos spec item {item!r} (expected key:value)")
             key = key.strip().lower()
@@ -117,6 +181,12 @@ class ChaosConfig:
                 kwargs["backoff_base"] = float(value)
             elif key == "ckpt":
                 kwargs["checkpoint_every"] = int(value)
+            elif key == "replicas":
+                kwargs["ckpt_replicas"] = int(value)
+            elif key == "heartbeat":
+                kwargs["heartbeat_period"] = float(value)
+            elif key == "detect":
+                kwargs["detection_timeout"] = float(value)
             elif key in ("lose-gpu", "lose-node"):
                 target, sep, at = value.partition("@")
                 if not sep:

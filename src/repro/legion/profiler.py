@@ -57,6 +57,18 @@ class Profiler:
     checkpoints: int = 0
     checkpoint_bytes: int = 0
     tasks_reexecuted: int = 0
+    # Resilience 2.0 (repro.legion.resilience): checkpoint bytes copied
+    # to replica stores beyond the primary, recovery rounds executed
+    # (>1 per _recover call means a nested fault restarted the replay),
+    # replica-restoring copies planned by the recovery planner, and the
+    # modeled failure detector's confirmations plus total suspected->
+    # confirmed latency charged on the issue clock.
+    replication_bytes: int = 0
+    recoveries: int = 0
+    restores: int = 0
+    restore_bytes: int = 0
+    detections: int = 0
+    detection_seconds: float = 0.0
     copy_count: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     copy_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     task_counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -146,6 +158,24 @@ class Profiler:
         """Count tasks re-executed by post-loss journal replay."""
         self.tasks_reexecuted += count
 
+    def record_replication(self, nbytes: int) -> None:
+        """Count checkpoint traffic to replica stores beyond the primary."""
+        self.replication_bytes += int(nbytes)
+
+    def record_recovery(self) -> None:
+        """Count one recovery round (wipe, re-plan, replay)."""
+        self.recoveries += 1
+
+    def record_restore(self, nbytes: int, steps: int = 1) -> None:
+        """Count replica-restoring copies planned by recovery."""
+        self.restores += steps
+        self.restore_bytes += int(nbytes)
+
+    def record_detection(self, latency: float) -> None:
+        """Count one confirmed loss and its modeled detection latency."""
+        self.detections += 1
+        self.detection_seconds += latency
+
     def record_host_phase(self, phase: str, seconds: float) -> None:
         """Accumulate host wall-clock time spent in a runtime phase."""
         self.host_phase_seconds[phase] += seconds
@@ -228,6 +258,17 @@ class Profiler:
                 f"recovery:         {self.checkpoints} checkpoints "
                 f"({self.checkpoint_bytes:,}B), "
                 f"{self.tasks_reexecuted} tasks re-executed"
+            )
+        if self.replication_bytes or self.restores:
+            lines.append(
+                f"replication:      {self.replication_bytes:,}B to replica "
+                f"stores, {self.restores} restores "
+                f"({self.restore_bytes:,}B)"
+            )
+        if self.detections:
+            lines.append(
+                f"detection:        {self.detections} confirmed losses, "
+                f"{self.detection_seconds:.6f}s suspected->confirmed"
             )
         if any(self.host_phase_seconds.values()):
             phases = ", ".join(

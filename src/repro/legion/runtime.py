@@ -38,10 +38,11 @@ from repro.analysis.recorder import register as _register_log
 from repro.analysis.recorder import validation_default as _validation_default
 from repro.analysis.sanitizer import poison as _poison
 from repro.analysis.sanitizer import readonly_view as _readonly_view
-from repro.geometry import Rect
+from repro.geometry import Rect, RectSet
 from repro.legion import fastpath as _fastpath
 from repro.legion import fusion
-from repro.legion.chaos import ChaosConfig, ChaosInjector, chaos_default
+from repro.legion import resilience as _resilience
+from repro.legion.chaos import ChaosConfig, ChaosInjector, LossSchedule, chaos_default
 from repro.legion.coherence import RegionCoherence
 from repro.legion.exceptions import FaultError, OutOfMemoryError
 from repro.legion.future import Future
@@ -335,6 +336,19 @@ class Runtime:
             self._chaos is not None and self.config.chaos.has_losses
         )
         self._journal: List[TaskLaunch] = []
+        # Resilience 2.0 (repro.legion.resilience): checkpoint snapshots
+        # are replicated into the sysmems of ckpt_replicas distinct
+        # fault domains; the manifest remembers what the last epoch
+        # protects so the recovery planner can re-source every piece
+        # from the cheapest surviving replica.  replicas=1 is exactly
+        # the original single node-0 store.
+        self._ckpt_stores: List[Memory] = _resilience.place_stores(
+            self.machine,
+            self.config.chaos.ckpt_replicas
+            if self.config.chaos is not None
+            else 1,
+        )
+        self._ckpt_manifest = _resilience.CheckpointManifest()
         # Regions freed since the last checkpoint: journal replay must
         # skip their requirements (coherence and instances are gone).
         self._freed_uids: set = set()
@@ -1237,14 +1251,19 @@ class Runtime:
     # Checkpoint / recovery (repro.legion.chaos)
     # ------------------------------------------------------------------
     def checkpoint(self) -> int:
-        """Open a new checkpoint epoch: snapshot dirty data to sysmem.
+        """Open a new checkpoint epoch: snapshot dirty data to the stores.
 
-        Every written piece not already valid in node-0 system memory
-        is copied there over the modeled channels (attach semantics: no
+        Every written piece not already valid in a checkpoint store is
+        copied there over the modeled channels (attach semantics: no
         sysmem instance is charged, like the host staging fiction in
-        :meth:`create_region`).  The journal then resets — a subsequent
-        loss replays only tasks launched after this epoch.  Returns the
-        scaled snapshot bytes.
+        :meth:`create_region`).  With ``ChaosConfig.ckpt_replicas > 1``
+        the snapshot lands in the sysmems of that many distinct fault
+        domains (see :func:`repro.legion.resilience.place_stores`);
+        traffic beyond the primary store is counted as replication
+        bytes.  The journal then resets — a subsequent loss replays
+        only tasks launched after this epoch — and the manifest records
+        what the epoch protects, for the recovery planner.  Returns the
+        scaled snapshot bytes (all replicas).
 
         The snapshot drains *asynchronously*: the issue clock is not
         blocked on it (real checkpointing overlaps compute), so only
@@ -1252,37 +1271,62 @@ class Runtime:
         the sync-point clocks (:meth:`elapsed`/:meth:`barrier`) fold in.
         """
         self._sync("checkpoint")
-        host = self._host_memory
+        chaos = self._chaos
+        if chaos is not None and not self._in_recovery:
+            # A loss already due must recover *before* the snapshot: a
+            # checkpoint drained after the loss time must not capture
+            # state the loss has (in simulated time) already destroyed.
+            due = chaos.take_losses(self.issue_time)
+            if due:
+                self._recover(due)
+        # Re-place the stores each epoch: a node dead during the last
+        # recovery has "restarted" by the next checkpoint and rejoins
+        # the replica set.
+        self._ckpt_stores = _resilience.place_stores(
+            self.machine,
+            chaos.config.ckpt_replicas if chaos is not None else 1,
+        )
+        manifest = _resilience.CheckpointManifest()
+        primary_uid = self._ckpt_stores[0].uid
         total = 0
+        replicated = 0
         nregions = 0
         for uid, coh in self._coherence.items():
-            need = coh.written.subtract(coh.valid_set(host.uid))
-            if need.is_empty():
+            if coh.written.is_empty():
                 continue
             name, itemsize = self._region_meta.get(uid, ("", 8))
+            manifest.record(uid, name, RectSet(coh.written.rects()))
             copied = False
-            for rect in need.rects():
-                for src_uid, frag, t_src in coh.find_source(
-                    rect, exclude=host.uid
-                ):
-                    nbytes = frag.volume() * itemsize
-                    finish = self._copy(
-                        self._memory_by_uid(src_uid), host, nbytes,
-                        max(self.issue_time, t_src),
-                        label=f"ckpt:{name or uid}",
-                        category="checkpoint",
-                    )
-                    if self.event_log is not None:
-                        self.event_log.record_copy(
-                            uid, name, frag, src_uid, host.uid,
-                            nbytes, why="checkpoint",
+            for store in self._ckpt_stores:
+                need = coh.written.subtract(coh.valid_set(store.uid))
+                for rect in need.rects():
+                    for src_uid, frag, t_src in coh.find_source(
+                        rect, exclude=store.uid
+                    ):
+                        nbytes = frag.volume() * itemsize
+                        finish = self._copy(
+                            self._memory_by_uid(src_uid), store, nbytes,
+                            max(self.issue_time, t_src),
+                            label=f"ckpt:{name or uid}",
+                            category="checkpoint",
                         )
-                    coh.mark_valid(host.uid, frag, finish)
-                    total += int(nbytes * self.config.effective_comm_scale)
-                    copied = True
+                        if self.event_log is not None:
+                            self.event_log.record_copy(
+                                uid, name, frag, src_uid, store.uid,
+                                nbytes, why="checkpoint",
+                            )
+                        coh.mark_valid(store.uid, frag, finish)
+                        scaled = int(nbytes * self.config.effective_comm_scale)
+                        total += scaled
+                        if store.uid != primary_uid:
+                            replicated += scaled
+                        copied = True
             if copied:
                 nregions += 1
+        self._ckpt_manifest = manifest
         self.profiler.record_checkpoint(total)
+        if replicated:
+            self.profiler.record_replication(replicated)
         if self.event_log is not None:
             self.event_log.record_checkpoint(total, nregions)
         self._journal.clear()
@@ -1292,15 +1336,57 @@ class Runtime:
     def _recover(self, losses) -> None:
         """Recover from delivered GPU/node losses by journal replay.
 
-        The lost memories' instances and coherence validity are wiped
-        (data elsewhere — including the sysmem checkpoint — survives),
-        a recovery delay is charged, and every task journaled since the
-        last checkpoint epoch re-executes in replay mode: re-mapping,
-        re-staging and re-timing without re-running kernels, so the
-        final answer is bitwise-identical to a fault-free run.
+        Resilience 2.0: each recovery round (1) wipes the lost
+        memories' instances and coherence validity and charges the
+        modeled detection stall (the heartbeat detector's suspected →
+        confirmed transition) plus the recovery delay; (2) re-plans the
+        replica set from surviving fault domains and restores every
+        checkpoint-protected piece the replay will not re-write from
+        the cheapest surviving copy (:mod:`repro.legion.resilience`) —
+        raising :class:`FaultError` only when *all* replicas of a
+        needed piece are gone (or, at ``ckpt_replicas=1``, whenever the
+        single node-0 store is lost, the original contract); (3)
+        replays every task journaled since the last checkpoint epoch in
+        replay mode: re-mapping, re-staging and re-timing without
+        re-running kernels, so the final answer is bitwise-identical to
+        a fault-free run.  Recovery is *re-entrant*: a loss falling due
+        mid-replay aborts the pass and restarts from step (1) — the
+        journal's numerics are untouched, so replaying it again from
+        the epoch is safe.
         """
         assert self._chaos is not None
+        journal, self._journal = self._journal, []
+        # Pieces the replay itself re-writes need no restore from a
+        # replica (the coverage never over-approximates; see
+        # resilience.journal_write_coverage).
+        rewritten = _resilience.journal_write_coverage(
+            journal, self._freed_uids
+        )
+        dead_nodes: set = set()
+        self._in_recovery = True
+        try:
+            pending: List[LossSchedule] = list(losses)
+            while pending:
+                self.profiler.record_recovery()
+                self._apply_losses(pending, dead_nodes)
+                self._restore_replicas(rewritten, dead_nodes)
+                pending = self._replay_journal(journal)
+        finally:
+            self._in_recovery = False
+
+    def _apply_losses(self, losses, dead_nodes: set) -> None:
+        """Wipe lost memories; charge detection + recovery stall.
+
+        The failure detector runs on the simulated clock: a loss at
+        ``t`` is *suspected* at the next heartbeat tick and *confirmed*
+        ``detection_timeout`` later (:meth:`ChaosConfig
+        .detection_times`); the run cannot react before confirmation,
+        so the issue clock stalls to the latest confirmation before
+        paying the per-loss recovery delay.
+        """
+        chaos = self._chaos
         lost: List[int] = []
+        confirmed_at = self.issue_time
         for loss in losses:
             if loss.kind == "gpu":
                 procs = self.scope.processors
@@ -1310,42 +1396,135 @@ class Runtime:
                 mems = [
                     m for m in self.machine.memories if m.node == loss.target
                 ]
+                dead_nodes.add(loss.target)
             kind = f"{loss.kind}-loss"
             self.profiler.record_fault(kind)
             uids = [m.uid for m in mems]
             lost.extend(uids)
+            suspected, confirmed = chaos.config.detection_times(loss.at_time)
+            confirmed_at = max(confirmed_at, confirmed)
+            self.profiler.record_detection(max(0.0, confirmed - loss.at_time))
             if self.event_log is not None:
                 self.event_log.record_fault(
                     kind, uids,
                     detail=f"target={loss.target} at t={loss.at_time:g}",
                 )
-        if self._host_memory.uid in lost:
+                self.event_log.record_detection(
+                    kind, loss.target, loss.at_time, suspected, confirmed
+                )
+            if self.timeline is not None:
+                # Detector state transitions (non-busy category:
+                # annotation only, like "allreduce"/"recovery").
+                self.timeline.record(
+                    "detection", "detector",
+                    f"suspect:{kind}[{loss.target}]",
+                    loss.at_time, suspected,
+                )
+                self.timeline.record(
+                    "detection", "detector",
+                    f"confirm:{kind}[{loss.target}]",
+                    suspected, confirmed,
+                )
+        if (
+            chaos.config.ckpt_replicas == 1
+            and self._host_memory.uid in lost
+        ):
+            # The original single-store contract: at replicas=1 the
+            # checkpoint IS node-0 sysmem, and losing it is
+            # unconditionally fatal even if copies survive elsewhere.
             raise FaultError(
                 "node-0 system memory (the checkpoint store) was lost; "
-                "recovery is impossible"
+                "recovery is impossible (replicate the checkpoint with "
+                "ckpt_replicas >= 2 to survive store loss)"
             )
         for uid in set(lost):
             self.instances.lose_memory(uid)
             for coh in self._coherence.values():
                 coh.invalidate(uid)
         t_before = self.issue_time
-        self.issue_time += self._chaos.config.recovery_delay * len(losses)
+        self.issue_time = max(self.issue_time, confirmed_at)
+        t_confirmed = self.issue_time
+        self.issue_time += chaos.config.recovery_delay * len(losses)
         if self.timeline is not None:
+            if t_confirmed > t_before:
+                self.timeline.record(
+                    "detection", "issue",
+                    f"detect-stall:{len(losses)}-loss",
+                    t_before, t_confirmed,
+                )
             self.timeline.record(
                 "recovery", "issue",
                 f"recover:{len(losses)}-loss",
-                t_before, self.issue_time,
+                t_confirmed, self.issue_time,
             )
         for puid in self._proc_busy:
             self._proc_busy[puid] = max(self._proc_busy[puid], self.issue_time)
-        journal, self._journal = self._journal, []
-        self._in_recovery = True
-        try:
-            for task in journal:
-                self.profiler.record_reexecution()
-                self._execute(task, replay=True)
-        finally:
-            self._in_recovery = False
+
+    def _restore_replicas(self, rewritten, dead_nodes: set) -> None:
+        """Re-plan the replica set; restore missing protected pieces.
+
+        Surviving fault domains host the stores for the rest of this
+        recovery (a dead node rejoins at the next checkpoint epoch);
+        every manifest piece the replay will not re-write is copied
+        into each store missing it from the cheapest surviving source,
+        charged over the modeled channels.
+        """
+        chaos = self._chaos
+        stores = _resilience.place_stores(
+            self.machine, chaos.config.ckpt_replicas, exclude_nodes=dead_nodes
+        )
+        if not stores:
+            raise FaultError(
+                "every checkpoint-store fault domain was lost; "
+                "recovery is impossible"
+            )
+        self._ckpt_stores = stores
+        for uid in self._freed_uids:
+            self._ckpt_manifest.drop(uid)
+        steps = _resilience.plan_recovery(
+            self._ckpt_manifest, self._coherence, rewritten,
+            stores, self.machine, self._memory_by_uid, self._region_meta,
+        )
+        restored = 0
+        for step in steps:
+            coh = self._coherence[step.region_uid]
+            finish = self._copy(
+                self._memory_by_uid(step.src_uid),
+                self._memory_by_uid(step.dst_uid),
+                step.nbytes,
+                max(self.issue_time, step.ready),
+                label=f"restore:{step.region_name or step.region_uid}",
+                category="checkpoint",
+            )
+            if self.event_log is not None:
+                self.event_log.record_copy(
+                    step.region_uid, step.region_name, step.rect,
+                    step.src_uid, step.dst_uid, step.nbytes, why="restore",
+                )
+            coh.mark_valid(step.dst_uid, step.rect, finish)
+            restored += int(step.nbytes * self.config.effective_comm_scale)
+        if steps:
+            self.profiler.record_restore(restored, len(steps))
+
+    def _replay_journal(self, journal) -> List[LossSchedule]:
+        """Replay the epoch's journal; return losses falling due mid-pass.
+
+        A non-empty return means the pass aborted: the caller re-wipes,
+        re-plans from surviving replicas and replays again from the
+        epoch (replay never touches numerics, so restarting is safe).
+        The in-progress journal is cleared first — replayed tasks
+        re-append themselves, and a restarted pass must not duplicate
+        the aborted pass's entries.
+        """
+        chaos = self._chaos
+        self._journal = []
+        for task in journal:
+            due = chaos.take_losses(self.issue_time)
+            if due:
+                return due
+            self.profiler.record_reexecution()
+            self._execute(task, replay=True)
+        return []
 
     def _fold_reduction(
         self,

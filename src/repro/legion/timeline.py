@@ -18,6 +18,9 @@ runtime records every modeled activity as a :class:`Span` —
   resource; allreduces may overlap and carry no occupancy),
 * ``evict`` — zero-width markers for clean-instance drops,
 * ``recovery`` — the post-loss restart delay on the issue clock,
+* ``detection`` — the failure detector's suspected → confirmed
+  transitions and the issue-clock stall waiting for confirmation
+  (non-busy: annotation only, like ``recovery``),
 
 each tagged ``(category, resource, name, start, finish, nbytes,
 flops)`` on the simulated clock.  Profiling is off by default and costs

@@ -3,6 +3,7 @@
 from repro.analysis.checker import check_log
 from repro.analysis.events import (
     CheckpointEvent,
+    DetectionEvent,
     EventLog,
     FaultEvent,
     ReqAccess,
@@ -50,6 +51,17 @@ class TestSerialization:
         assert (ckpt.nbytes, ckpt.regions) == (1024, 2)
         shards = [e for e in loaded.events if isinstance(e, ShardEvent)]
         assert [s.replay for s in shards] == [False, True]
+
+    def test_detection_event_roundtrip(self, tmp_path):
+        log = EventLog(name="detection")
+        log.record_detection("node-loss", 0, 0.004, 0.0042, 0.0045)
+        path = str(tmp_path / "run.jsonl")
+        log.save(path)
+        loaded = EventLog.load(path)
+        assert loaded.events == log.events
+        (det,) = [e for e in loaded.events if isinstance(e, DetectionEvent)]
+        assert det.fault == "node-loss" and det.target == 0
+        assert (det.at, det.suspected, det.confirmed) == (0.004, 0.0042, 0.0045)
 
 
 class TestCheckerSemantics:
@@ -100,6 +112,33 @@ class TestCheckerSemantics:
             2.0, 3.0,
         )
         assert any(v.kind == "stale-read" for v in check_log(log2))
+
+    def test_detection_events_are_checker_neutral(self):
+        """Detection is annotation: suspected/confirmed transitions do
+        not move data, so they change no checker verdict."""
+        log = EventLog(name="detect-neutral")
+        w = log.record_task("writer", 1)
+        _write(log, w, memory=4)
+        log.record_detection("gpu-loss", 1, 1.0, 1.1, 1.2)
+        r = log.record_task("reader", 1)
+        _read(log, r, memory=4)
+        assert check_log(log) == []
+
+    def test_restore_copies_establish_replica_validity(self):
+        """A recovery-planner restore re-sources a piece from a
+        surviving replica; reads staged from the refilled store are
+        clean."""
+        log = EventLog(name="restore")
+        w = log.record_task("writer", 1)
+        _write(log, w, memory=4)
+        log.record_copy(1, "v", RECT, 4, 0, 64, why="checkpoint")  # store A
+        log.record_copy(1, "v", RECT, 4, 7, 64, why="checkpoint")  # store B
+        log.record_fault("node-loss", memories=(4, 0))  # domain with store A
+        log.record_copy(1, "v", RECT, 7, 0, 64, why="restore")  # refill A
+        log.record_copy(1, "v", RECT, 0, 4, 64)  # stage back in
+        r = log.record_task("reader", 1)
+        _read(log, r, memory=4)
+        assert check_log(log) == []
 
     def test_spill_and_checkpoint_copies_establish_validity(self):
         for why in ("spill", "checkpoint"):

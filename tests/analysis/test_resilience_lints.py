@@ -1,0 +1,76 @@
+"""Advisor resilience pass: checkpoint-cost prediction and fault lints."""
+
+from repro.analysis import advise
+from repro.legion import RuntimeConfig
+from repro.legion.chaos import ChaosConfig, LossSchedule
+from repro.machine import summit
+
+
+def _workload():
+    import repro.numeric as rnp
+
+    x = rnp.ones(512)
+    y = x * 2.0
+    return y + x
+
+
+def _advise(chaos, nodes=2, procs=2):
+    return advise(
+        _workload,
+        machine=summit(nodes=nodes),
+        procs=procs,
+        config=RuntimeConfig.legate(chaos=chaos),
+    )
+
+
+def _findings(advice, rule):
+    return [f for f in advice.findings if f.rule == rule]
+
+
+def test_no_chaos_no_resilience_findings():
+    advice = advise(_workload, machine=summit(nodes=2), procs=2)
+    for rule in ("unprotected-run", "under-replicated", "resilience"):
+        assert not _findings(advice, rule)
+
+
+def test_unprotected_run_warns_on_losses_without_checkpoints():
+    chaos = ChaosConfig(
+        checkpoint_every=0, losses=(LossSchedule("gpu", 0, 1.0),)
+    )
+    advice = _advise(chaos)
+    warns = _findings(advice, "unprotected-run")
+    assert warns and all(f.severity == "warning" for f in warns)
+    assert any("checkpoint_every=0" in f.message for f in warns)
+
+
+def test_under_replicated_warns_on_node_losses_with_single_store():
+    chaos = ChaosConfig(
+        checkpoint_every=8,
+        ckpt_replicas=1,
+        losses=(LossSchedule("node", 0, 1.0),),
+    )
+    warns = _findings(_advise(chaos), "under-replicated")
+    assert warns and all(f.severity == "warning" for f in warns)
+    assert any("single point of failure" in f.message for f in warns)
+
+
+def test_under_replicated_warns_when_replicas_exceed_domains():
+    chaos = ChaosConfig(checkpoint_every=8, ckpt_replicas=4)
+    warns = _findings(_advise(chaos, nodes=2), "under-replicated")
+    assert any("fault domain" in f.message for f in warns)
+
+
+def test_replicated_protected_run_gets_cost_note_only():
+    chaos = ChaosConfig(
+        checkpoint_every=8,
+        ckpt_replicas=2,
+        heartbeat_period=1e-4,
+        detection_timeout=1e-4,
+        losses=(LossSchedule("node", 0, 1.0),),
+    )
+    advice = _advise(chaos)
+    assert not _findings(advice, "unprotected-run")
+    assert not _findings(advice, "under-replicated")
+    notes = _findings(advice, "resilience")
+    assert notes and all(f.severity == "note" for f in notes)
+    assert any("worst-case recovery" in f.message for f in notes)
