@@ -2,7 +2,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test validate check lint advise autoformat bench chaos soak \
-	profile kernel-fusion overhead
+	profile kernel-fusion overhead serve
 
 test:
 	python -m pytest -x -q
@@ -72,6 +72,15 @@ chaos:
 # raise a clean FaultError — never a silent wrong answer.
 soak:
 	python scripts/soak.py
+
+# Serve benchmark: seeded load generator against the multi-tenant
+# serving layer (admission control, fair-share windows, cross-request
+# SpMV batching, result cache, chaos isolation), writes BENCH_serve.json
+# and fails unless batched results are bitwise-identical to per-request
+# execution, batching strictly reduces modeled launch overhead, and the
+# simulated/sync/asyncio backends serve identical bits.
+serve:
+	python scripts/serve.py
 
 # Timeline profiling: fig9 CG + fig10 GMG with span recording on.
 # Writes Chrome traces (open in chrome://tracing or ui.perfetto.dev)

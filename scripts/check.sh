@@ -37,9 +37,12 @@ echo "== kernel fusion smoke (merge verdicts + BENCH_fusion.json payload) =="
 # The demo proves at least one merge-safe group executes as one loop
 # nest with bitwise-identical results (it exits non-zero otherwise).
 python examples/kernel_fusion_demo.py --k 12 --maxiter 2 > /dev/null
-# The static advisor must carry the same merge verdicts.
-python -m repro.analysis advise examples/advisor_demo.py \
-    -- --maxiter 2 | grep -q "kernel-merge-applied" || {
+# The static advisor must carry the same merge verdicts.  Capture the
+# output first: POSIX sh has no pipefail, so `python ... | grep -q`
+# would report grep's status and silently swallow a python failure.
+advise_out=$(python -m repro.analysis advise examples/advisor_demo.py \
+    -- --maxiter 2)
+printf '%s\n' "$advise_out" | grep -q "kernel-merge-applied" || {
     echo "advisor produced no kernel-merge-applied verdict" >&2
     exit 1
 }
@@ -94,6 +97,29 @@ print(
 )
 PYEOF
 
+echo "== serve bench smoke (multi-tenant serving, writes BENCH_serve.json) =="
+# Small tenant counts; the driver exits non-zero unless batched results
+# are bitwise-identical to per-request execution, batching strictly
+# reduces modeled launch overhead, and backends agree on served bits.
+python scripts/serve.py --smoke --output BENCH_serve.json > /dev/null
+python - <<'PYEOF'
+import json
+with open("BENCH_serve.json") as fh:
+    payload = json.load(fh)
+assert len(payload["scaling"]) >= 3, "serve: fewer than 3 tenant counts"
+bat = payload["batching"]
+assert bat["batched"]["batches"] >= 1, "serve: no batched launch"
+assert bat["bitwise_identical"], "serve: batched bits differ"
+assert bat["launch_overhead_reduction"] > 0, "serve: no overhead saving"
+assert payload["caching"]["cached"]["cache_hits"] >= 1, "serve: no cache hit"
+assert payload["backends"]["identical"], "serve: backends disagree"
+print(
+    f"BENCH_serve OK: {len(payload['scaling'])} tenant counts, "
+    f"{bat['batched']['batches']} batched launches, "
+    f"{payload['caching']['cached']['cache_hits']} cache hits"
+)
+PYEOF
+
 echo "== format bench smoke (CSR vs advised format, writes BENCH_format.json) =="
 python scripts/format.py --output BENCH_format.json > /dev/null
 
@@ -123,8 +149,11 @@ python -m repro.analysis advise examples/advisor_demo.py \
     --machine summit:4 -- --maxiter 2 > /dev/null
 # The auto-format pass must recommend a non-CSR format for the skewed
 # demo (and exit zero: its conversions amortize over the demo's loop).
-python -m repro.analysis advise examples/format_advisor_demo.py \
-    --autoformat | grep -q "recommended" || {
+# Captured, not piped — a python failure must fail the gate, not vanish
+# behind grep's exit status.
+format_out=$(python -m repro.analysis advise examples/format_advisor_demo.py \
+    --autoformat)
+printf '%s\n' "$format_out" | grep -q "recommended" || {
     echo "auto-format advisor produced no recommendation" >&2
     exit 1
 }

@@ -32,8 +32,36 @@ class TrainStats:
     batches: int = 0
 
 
+@dataclass(frozen=True)
+class FactorSnapshot:
+    """One published epoch of model parameters.
+
+    Immutable by contract: training never mutates a published
+    snapshot's arrays in place — it computes the next epoch's arrays
+    and publishes a *new* snapshot with one reference assignment.  A
+    reader that captured a snapshot therefore sees one consistent
+    epoch forever, no matter how many train steps run concurrently.
+    """
+
+    version: int
+    mu: float
+    U: ndarray
+    V: ndarray
+    bu: ndarray
+    bi: ndarray
+
+
 class MatrixFactorizationModel:
-    """Biased matrix factorization (Koren et al.), trained with distributed SDDMM/SpMM batches."""
+    """Biased matrix factorization (Koren et al.), trained with distributed SDDMM/SpMM batches.
+
+    Parameters live in an immutable :class:`FactorSnapshot` published
+    with a single attribute swap per train step, so prediction is safe
+    under concurrent readers: a reader either sees the epoch before a
+    ``train_batch`` or the epoch after, never a half-updated mix of
+    fresh ``U`` with stale ``bu``.  ``U``/``V``/``bu``/``bi`` are
+    read-only views of the current snapshot; :meth:`snapshot` pins an
+    epoch across multiple calls.
+    """
     def __init__(
         self,
         n_users: int,
@@ -47,11 +75,41 @@ class MatrixFactorizationModel:
         self.n_users, self.n_items, self.k = n_users, n_items, k
         self.lr, self.reg, self.mu = lr, reg, mu
         rnp.random.seed(seed)
-        self.U = rnp.random.standard_normal((n_users, k)) * (1.0 / np.sqrt(k))
-        self.V = rnp.random.standard_normal((n_items, k)) * (1.0 / np.sqrt(k))
-        self.bu = rnp.zeros(n_users)
-        self.bi = rnp.zeros(n_items)
+        self._snapshot = FactorSnapshot(
+            version=0,
+            mu=mu,
+            U=rnp.random.standard_normal((n_users, k)) * (1.0 / np.sqrt(k)),
+            V=rnp.random.standard_normal((n_items, k)) * (1.0 / np.sqrt(k)),
+            bu=rnp.zeros(n_users),
+            bi=rnp.zeros(n_items),
+        )
         self.stats = TrainStats()
+
+    # -- published parameters (read-only views of the current epoch) ----
+    def snapshot(self) -> FactorSnapshot:
+        """Pin the current epoch for a consistent multi-read sequence."""
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        """Epoch counter: bumps once per published train step."""
+        return self._snapshot.version
+
+    @property
+    def U(self) -> ndarray:
+        return self._snapshot.U
+
+    @property
+    def V(self) -> ndarray:
+        return self._snapshot.V
+
+    @property
+    def bu(self) -> ndarray:
+        return self._snapshot.bu
+
+    @property
+    def bi(self) -> ndarray:
+        return self._snapshot.bi
 
     # ------------------------------------------------------------------
     def _batch_matrices(self, users, items, ratings):
@@ -67,36 +125,72 @@ class MatrixFactorizationModel:
         cols = ndarray(R.crd)
         return R, rows, cols
 
-    def _predict_on_pattern(self, R, rows, cols) -> ndarray:
+    def _predict_on_pattern(
+        self, R, rows, cols, snap: Optional[FactorSnapshot] = None
+    ) -> ndarray:
+        snap = snap or self._snapshot
         ones = R._with_values(rnp.ones(R.nnz))
-        dots = ones.sddmm(self.U, self.V).data
-        return dots + self.bu[rows] + self.bi[cols] + self.mu
+        dots = ones.sddmm(snap.U, snap.V).data
+        return dots + snap.bu[rows] + snap.bi[cols] + snap.mu
 
     # ------------------------------------------------------------------
     def train_batch(self, users, items, ratings) -> float:
-        """One SGD step on a batch; returns the batch RMSE (pre-update)."""
+        """One SGD step on a batch; returns the batch RMSE (pre-update).
+
+        Every gradient reads the *pinned* pre-step snapshot, the next
+        epoch's arrays are fully computed first, and only then is the
+        new snapshot published (one reference assignment).  Numerics
+        match the classic sequential in-place update exactly — each
+        update's right-hand side only ever used pre-step values — but a
+        concurrent predict can no longer observe fresh factors mixed
+        with stale biases.
+        """
+        snap = self._snapshot
         R, rows, cols = self._batch_matrices(users, items, ratings)
         nnz = R.nnz
-        preds = self._predict_on_pattern(R, rows, cols)
+        preds = self._predict_on_pattern(R, rows, cols, snap)
         err_vals = preds - R.data
         err = R._with_values(err_vals)
         scale = 1.0 / nnz
         # Factor gradients: two sparse-dense products.
-        dU = err @ self.V  # (n_users, k)
-        dV = err._matmat_transpose(self.U)  # (n_items, k)
-        self.U -= (dU * scale + self.U * self.reg) * self.lr
-        self.V -= (dV * scale + self.V * self.reg) * self.lr
+        dU = err @ snap.V  # (n_users, k)
+        dV = err._matmat_transpose(snap.U)  # (n_items, k)
+        new_U = snap.U - (dU * scale + snap.U * self.reg) * self.lr
+        new_V = snap.V - (dV * scale + snap.V * self.reg) * self.lr
         # Bias gradients: row/column sums of the error matrix.
-        self.bu -= (err.sum(axis=1) * scale + self.bu * self.reg) * self.lr
-        self.bi -= (err.sum(axis=0) * scale + self.bi * self.reg) * self.lr
+        new_bu = snap.bu - (err.sum(axis=1) * scale + snap.bu * self.reg) * self.lr
+        new_bi = snap.bi - (err.sum(axis=0) * scale + snap.bi * self.reg) * self.lr
+        self._snapshot = FactorSnapshot(
+            snap.version + 1, snap.mu, new_U, new_V, new_bu, new_bi
+        )
         self.stats.samples += nnz
         self.stats.batches += 1
         return float(rnp.linalg.norm(err_vals)) / np.sqrt(nnz)
 
+    def predict(self, users, items, snapshot: Optional[FactorSnapshot] = None):
+        """Predicted ratings for (user, item) pairs.
+
+        Reads one consistent epoch: the given pinned ``snapshot``, or
+        the currently-published one captured once at entry.
+        """
+        snap = snapshot or self._snapshot
+        users = np.asarray(users)
+        items = np.asarray(items)
+        ones = np.ones(len(users))
+        R, rows, cols = self._batch_matrices(users, items, ones)
+        preds = self._predict_on_pattern(R, rows, cols, snap)
+        # _batch_matrices canonicalizes to (row, col) order; map the
+        # predictions back to the caller's pair order.
+        order = np.lexsort((items, users))
+        out = np.empty(len(users))
+        out[order] = preds.to_numpy()
+        return out
+
     def rmse(self, users, items, ratings) -> float:
         """Root-mean-square error on given triples."""
+        snap = self._snapshot
         R, rows, cols = self._batch_matrices(users, items, ratings)
-        preds = self._predict_on_pattern(R, rows, cols)
+        preds = self._predict_on_pattern(R, rows, cols, snap)
         err = preds - R.data
         return float(rnp.linalg.norm(err)) / np.sqrt(R.nnz)
 

@@ -1,0 +1,397 @@
+"""Serve bench: a seeded load generator against the multi-tenant service.
+
+The shared model is a MovieLens-style factorization
+(:mod:`repro.apps.matfact` over :mod:`repro.apps.movielens` data): each
+published *matrix version* is the model's predicted-ratings matrix on
+the observed pattern after ``v`` training steps, and a request is a
+user taste profile ``x`` scored as ``R_pred @ x`` — one SpMV against
+the shared model.
+
+The load generator is a pure function of the seed: per-tenant streams
+of bursty arrivals with a tunable duplicate-input rate (cache traffic),
+dtype mix (unbatchable traffic) and mid-run model updates (version
+churn).  Scenarios measure:
+
+* **scaling** — throughput and p50/p99 *modeled* latency at several
+  tenant counts;
+* **batching** — the same workload with cross-request batching on
+  versus off (``max_batch=1``): per-request results must be
+  bitwise-identical (sha256 per request id) and batching must strictly
+  reduce total modeled launch overhead;
+* **caching** — a duplicate-heavy workload with the result cache on
+  versus off;
+* **churn + pressure** — version churn, mixed dtypes and undersized
+  queues, to exercise refusal accounting, admission control and the
+  serving lints;
+* **isolation** — one chaos-configured tenant whose injected faults
+  (and retries) stay inside its dedicated runtime while other tenants'
+  results stay bitwise-identical to a fault-free run;
+* **backends** — the same workload driven by the simulated, sync and
+  asyncio execution backends produces identical per-request bits.
+
+``scripts/serve.py`` writes the payload to ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sps
+
+from repro.apps.matfact import MatrixFactorizationModel
+from repro.apps.movielens import synthetic_movielens
+from repro.legion.chaos import ChaosConfig
+from repro.legion.runtime import Runtime, RuntimeConfig, runtime_scope
+from repro.machine import ProcessorKind, summit
+from repro.serve import ServiceConfig, SparseService, TenantConfig
+
+SERVE_USERS = 384
+SERVE_ITEMS = 256
+SERVE_RATINGS = 6_000
+SERVE_K = 8
+SERVE_PROCS = 2
+# Arrivals come in bursts (a burst shares one arrival instant, bursts
+# are ``gap`` apart) so scheduling windows actually contain co-pending
+# requests — the traffic shape batching exists for.
+BURST = 4
+BURST_GAP = 2.5e-4
+
+
+# ----------------------------------------------------------------------
+# The shared model
+# ----------------------------------------------------------------------
+def build_model_versions(seed: int = 0, n_versions: int = 2) -> List:
+    """Predicted-ratings matrices after 0..n-1 training steps.
+
+    Version ``v`` is the factorization's prediction on the observed
+    rating pattern after ``v`` full-batch SGD steps — a model update
+    between versions is exactly "the trainer published a new epoch".
+    """
+    users, items, ratings = synthetic_movielens(
+        SERVE_USERS, SERVE_ITEMS, SERVE_RATINGS, seed=seed
+    )
+    machine = summit(nodes=1)
+    rt = Runtime(
+        machine.scope(ProcessorKind.GPU, SERVE_PROCS),
+        RuntimeConfig.legate(),
+    )
+    versions = []
+    with runtime_scope(rt):
+        model = MatrixFactorizationModel(
+            SERVE_USERS, SERVE_ITEMS, k=SERVE_K,
+            mu=float(ratings.mean()), seed=seed,
+        )
+        for _ in range(n_versions):
+            R, rows, cols = model._batch_matrices(users, items, ratings)
+            preds = model._predict_on_pattern(R, rows, cols).to_numpy()
+            versions.append(
+                sps.csr_matrix(
+                    (preds, (rows.to_numpy(), cols.to_numpy())),
+                    shape=(SERVE_USERS, SERVE_ITEMS),
+                )
+            )
+            model.train_batch(users, items, ratings)
+    return versions
+
+
+# ----------------------------------------------------------------------
+# The load generator (pure function of the seed)
+# ----------------------------------------------------------------------
+def generate_streams(
+    seed: int,
+    tenants: Sequence[str],
+    requests_per_tenant: int,
+    n: int = SERVE_ITEMS,
+    dup_rate: float = 0.0,
+    dtype_mix: float = 0.0,
+) -> Dict[str, List[Tuple[float, np.ndarray]]]:
+    """Per-tenant ``(arrival, x)`` streams with bursty arrivals.
+
+    ``dup_rate`` draws the RHS from a small shared pool (identical
+    bytes → cache-hittable, including across tenants); ``dtype_mix``
+    downcasts some requests to float32 (legal, but unbatchable against
+    float64 traffic).
+    """
+    rng = np.random.default_rng(seed)
+    pool = [rng.standard_normal(n) for _ in range(4)]
+    streams: Dict[str, List[Tuple[float, np.ndarray]]] = {}
+    for tenant in tenants:
+        t = 0.0
+        items: List[Tuple[float, np.ndarray]] = []
+        for i in range(requests_per_tenant):
+            if i and i % BURST == 0:
+                t += BURST_GAP
+            if dup_rate and rng.random() < dup_rate:
+                x = pool[int(rng.integers(len(pool)))]
+            else:
+                x = rng.standard_normal(n)
+            if dtype_mix and rng.random() < dtype_mix:
+                x = x.astype(np.float32)
+            items.append((t, x))
+        streams[tenant] = items
+    return streams
+
+
+# ----------------------------------------------------------------------
+# Scenario runner
+# ----------------------------------------------------------------------
+def _digest(y: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(y).tobytes()).hexdigest()
+
+
+def run_scenario(
+    versions: Sequence,
+    tenants: Sequence[TenantConfig],
+    streams: Dict[str, List[Tuple[float, np.ndarray]]],
+    max_batch: int = 8,
+    cache_capacity: int = 256,
+    backend: str = "simulated",
+    window: int = 8,
+    update_after: Optional[int] = None,
+) -> Dict:
+    """Serve one workload; returns metrics plus per-request digests.
+
+    ``update_after`` publishes model version 1 after that many
+    requests have been admitted (version churn: in-flight requests
+    keep their pinned version, later admissions see the new one).
+    """
+    svc = SparseService(
+        versions[0],
+        list(tenants),
+        ServiceConfig(
+            procs=SERVE_PROCS,
+            window=window,
+            max_batch=max_batch,
+            cache_capacity=cache_capacity,
+            backend=backend,
+        ),
+    )
+    if update_after is None:
+        responses = svc.serve_streams(streams)
+    else:
+        ordered = sorted(
+            (
+                (arrival, tenant, x)
+                for tenant, items in streams.items()
+                for arrival, x in items
+            ),
+            key=lambda item: item[0],
+        )
+        for i, (arrival, tenant, x) in enumerate(ordered):
+            if i == update_after:
+                svc.update_model(versions[1])
+            svc.submit(tenant, x, arrival)
+        responses = svc.run()
+    stats = svc.stats()
+    prof = svc.runtime.profiler
+    ok = [r for r in responses.values() if r.ok]
+    # Digests key on (tenant, per-tenant sequence) — stable across
+    # backends (rid assignment order depends on producer interleaving,
+    # but each tenant's requests admit and serve in stream order).
+    digests: Dict[str, str] = {}
+    counters: Dict[str, int] = {}
+    for r in sorted(ok, key=lambda resp: resp.rid):
+        seq = counters.get(r.tenant, 0)
+        counters[r.tenant] = seq + 1
+        digests[f"{r.tenant}:{seq}"] = _digest(r.y)
+    latencies = sorted(r.latency for r in ok)
+    arrivals = [a for items in streams.values() for a, _ in items]
+    span = (
+        max((r.finish for r in ok), default=0.0) - min(arrivals, default=0.0)
+    )
+    return {
+        "tenants": len(tenants),
+        "backend": backend,
+        "max_batch": max_batch,
+        "cache_capacity": cache_capacity,
+        "requests": sum(len(items) for items in streams.values()),
+        "admitted": stats.requests_admitted,
+        "rejected": stats.requests_rejected,
+        "served": stats.requests_served,
+        "failed": stats.requests_failed,
+        "throughput_rps": len(ok) / span if span > 0 else 0.0,
+        "p50_latency_s": float(np.percentile(latencies, 50)) if latencies else 0.0,
+        "p99_latency_s": float(np.percentile(latencies, 99)) if latencies else 0.0,
+        "launches": stats.launches,
+        "batches": stats.batches,
+        "batched_requests": stats.batched_requests,
+        "refusals": dict(stats.refusals),
+        "cache_hits": stats.cache.hits,
+        "cache_misses": stats.cache.misses,
+        "launch_overhead_s": prof.launch_overhead_seconds,
+        "kernel_s": prof.kernel_seconds,
+        "per_tenant": stats.per_tenant,
+        "lints": [f"{i.code}: {i.message}" for i in svc.advise()],
+        "digests": digests,
+        "isolated_faults": {
+            name: {
+                k: v
+                for k, v in sorted(
+                    dom.runtime.profiler.faults_injected.items()
+                )
+                if v
+            }
+            for name, dom in svc._domains.items()
+            if name != "shared"
+        },
+        "shared_faults": {
+            k: v for k, v in sorted(prof.faults_injected.items()) if v
+        },
+        "shared_retries": prof.retries,
+    }
+
+
+def _strip_digests(record: Dict) -> Dict:
+    return {k: v for k, v in record.items() if k != "digests"}
+
+
+# ----------------------------------------------------------------------
+# The full payload
+# ----------------------------------------------------------------------
+def run_all(
+    tenant_counts: Sequence[int] = (2, 4, 8),
+    requests_per_tenant: int = 24,
+    seed: int = 0,
+) -> Dict:
+    """The BENCH_serve payload: scaling, batching, caching, churn,
+    isolation and backend-equivalence scenarios over one seeded model."""
+    versions = build_model_versions(seed=seed, n_versions=2)
+
+    def plain_tenants(count):
+        return [TenantConfig(f"t{i}") for i in range(count)]
+
+    # -- scaling: throughput and tail latency vs tenant count ----------
+    scaling = []
+    for count in tenant_counts:
+        names = [t.name for t in plain_tenants(count)]
+        streams = generate_streams(
+            seed + count, names, requests_per_tenant, dup_rate=0.2
+        )
+        scaling.append(
+            _strip_digests(
+                run_scenario(versions, plain_tenants(count), streams)
+            )
+        )
+
+    # -- batching on vs off: bitwise identity + overhead reduction -----
+    bat_tenants = plain_tenants(4)
+    bat_names = [t.name for t in bat_tenants]
+    bat_streams = generate_streams(seed + 1, bat_names, requests_per_tenant)
+    batched = run_scenario(
+        versions, bat_tenants, bat_streams, max_batch=8, cache_capacity=0
+    )
+    unbatched = run_scenario(
+        versions, bat_tenants, bat_streams, max_batch=1, cache_capacity=0
+    )
+    batching = {
+        "bitwise_identical": batched["digests"] == unbatched["digests"],
+        "batched": _strip_digests(batched),
+        "unbatched": _strip_digests(unbatched),
+        "launch_overhead_reduction": (
+            unbatched["launch_overhead_s"] - batched["launch_overhead_s"]
+        ),
+    }
+
+    # -- caching: duplicate-heavy traffic, cache on vs off -------------
+    cache_streams = generate_streams(
+        seed + 2, bat_names, requests_per_tenant, dup_rate=0.6
+    )
+    cached = run_scenario(versions, bat_tenants, cache_streams)
+    uncached = run_scenario(
+        versions, bat_tenants, cache_streams, cache_capacity=0
+    )
+    caching = {
+        "bitwise_identical": cached["digests"] == uncached["digests"],
+        "cached": _strip_digests(cached),
+        "uncached": _strip_digests(uncached),
+    }
+
+    # -- churn + pressure: refusals, rejections and the lints ----------
+    churn_tenants = [
+        TenantConfig(f"t{i}", max_queue=requests_per_tenant // 2)
+        for i in range(4)
+    ]
+    churn_streams = generate_streams(
+        seed + 3,
+        [t.name for t in churn_tenants],
+        requests_per_tenant,
+        dtype_mix=0.3,
+    )
+    churn = _strip_digests(
+        run_scenario(
+            versions,
+            churn_tenants,
+            churn_streams,
+            update_after=(4 * requests_per_tenant) // 2,
+        )
+    )
+
+    # -- isolation: a chaos tenant's faults stay in its domain ---------
+    iso_tenants = plain_tenants(3) + [
+        TenantConfig(
+            "chaotic",
+            chaos=ChaosConfig(seed=seed + 7, copy_fault_rate=0.2),
+        )
+    ]
+    iso_names = [t.name for t in iso_tenants]
+    iso_streams = generate_streams(seed + 4, iso_names, requests_per_tenant)
+    iso = run_scenario(versions, iso_tenants, iso_streams)
+    base_streams = {
+        name: items
+        for name, items in iso_streams.items()
+        if name != "chaotic"
+    }
+    iso_base = run_scenario(versions, plain_tenants(3), base_streams)
+    # Compare the non-chaotic tenants' results against a run without the
+    # chaotic tenant at all: fault injection (and retries) in the
+    # isolated domain must not perturb anyone else's bits.  Request ids
+    # differ between the two runs, so compare digest multisets.
+    isolation = {
+        "chaotic_faults": iso["isolated_faults"].get("chaotic", {}),
+        "shared_faults": iso["shared_faults"],
+        "others_unperturbed": iso_base["digests"]
+        == {
+            key: d
+            for key, d in iso["digests"].items()
+            if not key.startswith("chaotic:")
+        },
+        "with_chaos": _strip_digests(iso),
+        "baseline": _strip_digests(iso_base),
+    }
+
+    # -- backends: identical bits across simulated / sync / asyncio ----
+    be_streams = generate_streams(seed + 5, bat_names, requests_per_tenant)
+    be_digests = {}
+    for backend in ("simulated", "sync", "asyncio"):
+        rec = run_scenario(
+            versions, bat_tenants, be_streams, backend=backend
+        )
+        be_digests[backend] = rec["digests"]
+    backends = {
+        "identical": (
+            be_digests["simulated"]
+            == be_digests["sync"]
+            == be_digests["asyncio"]
+        ),
+        "requests": len(be_digests["simulated"]),
+    }
+
+    return {
+        "benchmark": "multi-tenant serving (load generator)",
+        "machine": f"summit:1 x {SERVE_PROCS} GPUs (simulated)",
+        "seed": seed,
+        "model": {
+            "dataset": f"synthetic movielens {SERVE_USERS}x{SERVE_ITEMS}",
+            "nnz": int(versions[0].nnz),
+            "factor_rank": SERVE_K,
+            "versions": len(versions),
+        },
+        "scaling": scaling,
+        "batching": batching,
+        "caching": caching,
+        "churn": churn,
+        "isolation": isolation,
+        "backends": backends,
+    }

@@ -1,0 +1,175 @@
+"""Pluggable execution backends: who owns the clocks, who drives programs.
+
+Historically the :class:`~repro.legion.runtime.Runtime` *was* the
+simulated clock — ``issue_time`` and the per-processor busy times were
+plain attributes, and "run a program" meant "call it and let it issue
+launches".  A long-lived multi-tenant service needs that contract split
+in two:
+
+* **clock ownership** — the issue clock, per-processor clocks and the
+  horizon computation live on one object that can be swapped out or
+  inspected without touching mapping/coherence code;
+* **program driving** — how a *set* of client programs is executed
+  against one runtime: strictly sequentially (the classic single-tenant
+  batch shape), sequentially with host wall-clock accounting (profiling
+  a serving host), or interleaved on an asyncio event loop (many
+  concurrent clients submitting requests, the serving shape).
+
+The three backends mirror the runtime-variants pattern of async/sync/
+simulation runtimes behind one program API:
+
+============================  =========================================
+:class:`SimulatedClockBackend`  Virtual clocks only (the default; every
+                                existing test runs on it unchanged).
+:class:`SyncHostBackend`        Virtual clocks plus per-program host
+                                wall-clock accounting — what a
+                                synchronous serving host would measure.
+:class:`AsyncioBackend`         Virtual clocks with programs driven as
+                                coroutines on an asyncio event loop;
+                                cooperative yields let many client
+                                programs interleave at request
+                                boundaries.
+============================  =========================================
+
+Numerics and *modeled* time are backend-independent by construction:
+the backend only decides host-side interleaving, and every modeled
+activity still charges the same virtual clocks.  The equivalence tests
+in ``tests/serve/test_backends.py`` enforce bitwise-identical results
+and identical modeled times across all three.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from time import perf_counter as _perf
+from typing import Any, Callable, Dict, List, Sequence
+
+
+class ExecutionBackend:
+    """Clock owner + program driver for one :class:`Runtime`.
+
+    Subclasses override :meth:`run_programs`; the clock surface
+    (``issue_time``, ``proc_busy``, :meth:`horizon`) is shared — all
+    backends model time identically, they differ in how host execution
+    is interleaved.
+    """
+
+    kind = "base"
+
+    def __init__(self) -> None:
+        self.issue_time: float = 0.0
+        # Processor uid -> busy-until on the virtual clock.
+        self.proc_busy: Dict[int, float] = {}
+
+    # -- clock surface --------------------------------------------------
+    def attach(self, processors) -> None:
+        """Initialize per-processor clocks for a machine scope."""
+        self.proc_busy = {p.uid: 0.0 for p in processors}
+
+    def horizon(self, machine) -> float:
+        """Latest virtual time across issue, processors and channels.
+
+        Channel occupancy is part of "all outstanding work": a trailing
+        asynchronous copy (checkpoint snapshot, spill) keeps the machine
+        busy past every processor clock (the PR 5 sync-clock fix).
+        """
+        return max(
+            self.issue_time,
+            max(self.proc_busy.values(), default=0.0),
+            machine.channel_horizon(),
+        )
+
+    # -- program driving ------------------------------------------------
+    def run_programs(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
+        """Drive a set of client programs to completion; return results."""
+        raise NotImplementedError
+
+
+class SimulatedClockBackend(ExecutionBackend):
+    """The classic shape: virtual clocks, programs run back-to-back."""
+
+    kind = "simulated"
+
+    def run_programs(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
+        return [thunk() for thunk in thunks]
+
+
+class SyncHostBackend(ExecutionBackend):
+    """Sequential driving with host wall-clock accounting per program.
+
+    Modeled time is identical to the simulated backend; additionally
+    ``host_seconds[i]`` records the real time the host spent driving
+    program ``i`` — the number a synchronous serving host capacity-plans
+    against.
+    """
+
+    kind = "sync"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.host_seconds: List[float] = []
+
+    def run_programs(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
+        results = []
+        for thunk in thunks:
+            t0 = _perf()
+            try:
+                results.append(thunk())
+            finally:
+                self.host_seconds.append(_perf() - t0)
+        return results
+
+
+class AsyncioBackend(ExecutionBackend):
+    """Programs driven as coroutines on an asyncio event loop.
+
+    Plain callables are wrapped in coroutines; coroutine functions are
+    driven directly and may ``await`` — e.g. ``await
+    backend.checkpoint_yield()`` between requests — so many client
+    programs interleave cooperatively.  The event loop is private to
+    one :meth:`run_programs` call (``asyncio.run``), so the backend can
+    be used from synchronous tests and CLIs.
+
+    Interleaving is deterministic: the loop round-robins ready
+    coroutines in submission order, and no real I/O or wall-clock
+    timers participate — which keeps served results reproducible and
+    lets the serve bench compare asyncio-driven runs bitwise against
+    sequential ones.
+    """
+
+    kind = "asyncio"
+
+    async def checkpoint_yield(self) -> None:
+        """Cooperatively yield to other client programs."""
+        await asyncio.sleep(0)
+
+    def run_programs(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
+        async def _drive():
+            async def _as_coro(thunk):
+                if asyncio.iscoroutinefunction(thunk):
+                    return await thunk()
+                result = thunk()
+                if asyncio.iscoroutine(result):
+                    return await result
+                return result
+
+            return await asyncio.gather(*[_as_coro(t) for t in thunks])
+
+        return list(asyncio.run(_drive()))
+
+
+_BACKENDS = {
+    cls.kind: cls
+    for cls in (SimulatedClockBackend, SyncHostBackend, AsyncioBackend)
+}
+
+
+def create_backend(kind: str) -> ExecutionBackend:
+    """Instantiate a backend by ``RuntimeConfig.backend`` name."""
+    try:
+        return _BACKENDS[kind]()
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {kind!r} "
+            f"(choose from {sorted(_BACKENDS)})"
+        ) from None

@@ -39,6 +39,7 @@ from repro.analysis.recorder import validation_default as _validation_default
 from repro.analysis.sanitizer import poison as _poison
 from repro.analysis.sanitizer import readonly_view as _readonly_view
 from repro.geometry import Rect, RectSet
+from repro.legion.backend import ExecutionBackend, create_backend
 from repro.legion import fastpath as _fastpath
 from repro.legion import fusion
 from repro.legion import resilience as _resilience
@@ -167,6 +168,13 @@ class RuntimeConfig:
     # launch overhead.  Off by default (the hot path then pays one
     # ``is not None`` check per site); defaults from REPRO_PROFILE.
     profile: bool = field(default_factory=_profile_default)
+    # Execution backend (repro.legion.backend): who owns the clocks and
+    # how client programs are driven — "simulated" (virtual clocks,
+    # sequential; the classic shape), "sync" (adds per-program host
+    # wall-clock accounting) or "asyncio" (programs interleave as
+    # coroutines, the serving shape).  Modeled time and numerics are
+    # backend-independent by construction.
+    backend: str = "simulated"
 
     @property
     def effective_comm_scale(self) -> float:
@@ -239,10 +247,21 @@ class RuntimeConfig:
 class Runtime:
     """One simulated execution: a machine scope plus clocks and state."""
 
-    def __init__(self, scope: MachineScope, config: Optional[RuntimeConfig] = None):
+    def __init__(
+        self,
+        scope: MachineScope,
+        config: Optional[RuntimeConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
+    ):
         self.scope = scope
         self.machine = scope.machine
         self.config = config or RuntimeConfig()
+        # The execution backend owns the clocks (issue clock, per-proc
+        # busy times) and decides how client programs are driven; the
+        # runtime reads/writes them through the properties below, so
+        # all mapping/coherence code is backend-agnostic.
+        self.backend = backend or create_backend(self.config.backend)
+        self.backend.attach(scope.processors)
         self.profiler = Profiler()
         self.instances = InstanceManager(
             reserved_fb_bytes=self.config.reserved_fb_bytes,
@@ -280,8 +299,6 @@ class Runtime:
         # Memory-magnification overrides keyed by region dim-0 extent;
         # see Region.mem_scale.
         self.mem_scale_by_extent: Dict[int, float] = {}
-        self._proc_busy: Dict[int, float] = {p.uid: 0.0 for p in scope.processors}
-        self.issue_time = 0.0
         # Optional tracing hook (repro.legion.tracing): called with the
         # task name per launch; returns a launch-overhead multiplier.
         self._trace_hook = None
@@ -384,6 +401,84 @@ class Runtime:
             self.timeline.meta["caches"] = self.profiler.fastpath_counters
 
     # ------------------------------------------------------------------
+    # Clock delegation (the execution backend owns the clock state)
+    # ------------------------------------------------------------------
+    @property
+    def issue_time(self) -> float:
+        """The issue clock (owned by the execution backend)."""
+        return self.backend.issue_time
+
+    @issue_time.setter
+    def issue_time(self, value: float) -> None:
+        self.backend.issue_time = value
+
+    @property
+    def _proc_busy(self) -> Dict[int, float]:
+        """Per-processor busy-until clocks (owned by the backend)."""
+        return self.backend.proc_busy
+
+    # ------------------------------------------------------------------
+    # Program boundaries (long-lived / multi-tenant use)
+    # ------------------------------------------------------------------
+    def reset_for_program(self, clear_caches: bool = False) -> None:
+        """Reset per-program state between back-to-back programs.
+
+        A runtime historically lived exactly as long as one program, so
+        several pieces of state are implicitly program-scoped and *leak*
+        when a long-lived server reuses one runtime instance across
+        client programs.  The audited leaks, each closed here:
+
+        * **the deferred fusion window** — launches a program buffered
+          but never synced would flush into the *next* program's
+          timeline (and could fuse with its launches);
+        * **the checkpoint cadence counter** — ``_launches_since_ckpt``
+          carried over, so the next program's first auto-checkpoint
+          fired early (after ``N - k`` launches instead of ``N``);
+        * **the recovery journal** — journaled tasks referencing the
+          previous program's (possibly freed) regions would be replayed
+          into the next program's state after a loss;
+        * **``fusion_log`` / ``autoformat_log``** — unbounded growth,
+          and one tenant's op-stream shape visible to the next
+          (a cross-tenant information leak in a serving context);
+        * **the tracing hook and any in-flight batched writes**.
+
+        When chaos journaling is active the journal cannot simply be
+        dropped — recovery replays from the last checkpoint epoch, so a
+        program boundary *is* a checkpoint epoch boundary: this method
+        takes a checkpoint (which syncs, snapshots dirty state and
+        clears the journal) instead of discarding coverage.
+
+        ``clear_caches=True`` additionally drops the structural caches
+        (fusion plans, generated nests, solve memo, instance/image
+        lookups).  They are keyed structurally and never leak numerics,
+        so a shared-model server keeps them warm across tenants by
+        default; a strict-isolation tenant can clear them.
+
+        Profiler counters are deliberately *not* reset — they are
+        cumulative observability state; callers wanting per-program
+        deltas use :meth:`Profiler.snapshot` / :meth:`Profiler.since`.
+        """
+        self._sync("reset-for-program")
+        self._pending_writes = None
+        self._trace_hook = None
+        if self._journaling and (self._journal or self._freed_uids):
+            # Program boundary == checkpoint epoch boundary (see above).
+            self.checkpoint()
+        self._journal.clear()
+        self._freed_uids.clear()
+        self._launches_since_ckpt = 0
+        self.fusion_log.clear()
+        self.autoformat_log.clear()
+        if clear_caches:
+            self._fusion_cache.clear()
+            self._nest_cache.clear()
+            self._solve_memo.clear()
+            if self._lookup_cache is not None:
+                self._lookup_cache.clear()
+            if self._image_cache is not None:
+                self._image_cache.clear()
+
+    # ------------------------------------------------------------------
     # Region management
     # ------------------------------------------------------------------
     def create_region(
@@ -483,11 +578,7 @@ class Runtime:
         under-reported runs ending in a copy.)
         """
         self._sync("barrier")
-        self.issue_time = max(
-            self.issue_time,
-            max(self._proc_busy.values(), default=0.0),
-            self.machine.channel_horizon(),
-        )
+        self.issue_time = self.backend.horizon(self.machine)
         if self.timeline is not None:
             self.timeline.note_horizon(self.issue_time)
         return self.issue_time
@@ -495,11 +586,7 @@ class Runtime:
     def elapsed(self) -> float:
         """Latest simulated time across issue, processors and channels."""
         self._sync("elapsed")
-        horizon = max(
-            self.issue_time,
-            max(self._proc_busy.values(), default=0.0),
-            self.machine.channel_horizon(),
-        )
+        horizon = self.backend.horizon(self.machine)
         if self.timeline is not None:
             self.timeline.note_horizon(horizon)
         return horizon

@@ -1,0 +1,1 @@
+"""Serving-layer tests."""

@@ -1,0 +1,113 @@
+"""Execution backends: clock ownership, program driving, equivalence."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+import repro.numeric as rnp
+import repro.sparse as sp
+from repro.legion.backend import (
+    AsyncioBackend,
+    ExecutionBackend,
+    SimulatedClockBackend,
+    SyncHostBackend,
+    create_backend,
+)
+from repro.legion.runtime import Runtime, RuntimeConfig, runtime_scope
+from repro.machine import ProcessorKind, laptop
+
+
+def _runtime(backend="simulated", **overrides):
+    machine = laptop()
+    return Runtime(
+        machine.scope(ProcessorKind.GPU, 2),
+        RuntimeConfig.legate(backend=backend, **overrides),
+    )
+
+
+def _spmv_program(rt, seed=0):
+    rng = np.random.default_rng(seed)
+    A_host = sps.random(48, 48, density=0.15, random_state=3, format="csr")
+    x_host = rng.standard_normal(48)
+    with runtime_scope(rt):
+        A = sp.csr_matrix(A_host)
+        y = (A @ rnp.asarray(x_host)).to_numpy().copy()
+        elapsed = rt.elapsed()
+    return y, elapsed
+
+
+def test_create_backend_by_kind():
+    assert isinstance(create_backend("simulated"), SimulatedClockBackend)
+    assert isinstance(create_backend("sync"), SyncHostBackend)
+    assert isinstance(create_backend("asyncio"), AsyncioBackend)
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        create_backend("threads")
+
+
+def test_runtime_clocks_live_on_the_backend():
+    rt = _runtime()
+    assert rt.backend.kind == "simulated"
+    assert rt.issue_time == rt.backend.issue_time == 0.0
+    rt.issue_time = 0.25
+    assert rt.backend.issue_time == 0.25
+    # The per-processor clock dict is the backend's.
+    assert rt._proc_busy is rt.backend.proc_busy
+    assert set(rt._proc_busy) == {p.uid for p in rt.scope.processors}
+
+
+def test_horizon_covers_issue_procs_and_channels():
+    rt = _runtime()
+    rt.issue_time = 1.0
+    assert rt.backend.horizon(rt.machine) == 1.0
+    uid = next(iter(rt._proc_busy))
+    rt._proc_busy[uid] = 2.5
+    assert rt.backend.horizon(rt.machine) == 2.5
+    assert rt.elapsed() >= 2.5
+
+
+def test_modeled_time_and_bits_are_backend_independent():
+    results = {}
+    for kind in ("simulated", "sync", "asyncio"):
+        rt = _runtime(backend=kind)
+        out = rt.backend.run_programs([lambda: _spmv_program(rt)])
+        results[kind] = out[0]
+    y0, t0 = results["simulated"]
+    for kind in ("sync", "asyncio"):
+        y, t = results[kind]
+        assert y.tobytes() == y0.tobytes()
+        assert t == t0
+
+
+def test_sync_backend_accounts_host_seconds_per_program():
+    rt = _runtime(backend="sync")
+    rt.backend.run_programs([lambda: _spmv_program(rt), lambda: None])
+    assert len(rt.backend.host_seconds) == 2
+    assert all(s >= 0.0 for s in rt.backend.host_seconds)
+
+
+def test_asyncio_backend_interleaves_at_yield_points():
+    backend = AsyncioBackend()
+    order = []
+
+    def make(tag):
+        async def prog():
+            for step in range(3):
+                order.append((tag, step))
+                await backend.checkpoint_yield()
+
+        return prog
+
+    backend.run_programs([make("a"), make("b")])
+    # Cooperative yields interleave the two programs step by step.
+    assert order[:4] == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+
+def test_asyncio_backend_drives_plain_callables_too():
+    backend = AsyncioBackend()
+    assert backend.run_programs([lambda: 7, lambda: "x"]) == [7, "x"]
+
+
+def test_existing_runtime_defaults_to_simulated_backend():
+    rt = _runtime()
+    assert isinstance(rt.backend, ExecutionBackend)
+    assert isinstance(rt.backend, SimulatedClockBackend)

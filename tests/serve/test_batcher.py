@@ -1,0 +1,172 @@
+"""Cross-request batching: bitwise identity, legality, accounting."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+from repro.serve import (
+    BatchKey,
+    Request,
+    ServiceConfig,
+    SparseService,
+    SpMVBatcher,
+    TenantConfig,
+)
+
+N = 64
+
+
+def _requests(specs):
+    """Requests from (rid, dtype, n, version) specs with seeded values."""
+    out = []
+    for rid, dtype, n, version in specs:
+        rng = np.random.default_rng(rid)
+        out.append(
+            Request(
+                rid, "t", rng.standard_normal(n).astype(dtype), 0.0, version
+            )
+        )
+    return out
+
+
+def _matrix(seed=0, n=N):
+    return sps.random(
+        n, n, density=0.12, random_state=seed, format="csr", dtype=np.float64
+    )
+
+
+def _service(max_batch=8, **cfg):
+    return SparseService(
+        _matrix(),
+        [TenantConfig("t")],
+        ServiceConfig(procs=2, max_batch=max_batch, cache_capacity=0, **cfg),
+    )
+
+
+# ----------------------------------------------------------------------
+# Property: batched == per-request, bitwise, over random mixes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(5))
+def test_batched_bitwise_identical_to_per_request_random_mixes(seed):
+    """Random request mixes: stacked multi-RHS launches must produce
+    exactly the bytes per-request launches produce, column for column."""
+    rng = np.random.default_rng(seed)
+    n_requests = int(rng.integers(2, 13))
+    dtypes = rng.choice(["float64", "float32"], size=n_requests)
+    xs = [rng.standard_normal(N).astype(d) for d in dtypes]
+
+    svc_b = _service(max_batch=8)
+    svc_u = _service(max_batch=1)
+    for svc in (svc_b, svc_u):
+        for x in xs:
+            svc.submit("t", x, arrival=0.0)
+        svc.run()
+    counts = {d: int((dtypes == d).sum()) for d in set(dtypes)}
+    if max(counts.values()) >= 2:  # some dtype group really did batch
+        assert svc_b.stats().batches >= 1
+    for rid in range(n_requests):
+        yb, yu = svc_b.responses[rid].y, svc_u.responses[rid].y
+        assert yb.dtype == yu.dtype
+        assert yb.tobytes() == yu.tobytes()
+
+
+def test_mixed_dtypes_refuse_to_stack():
+    batcher = SpMVBatcher(max_batch=8)
+    window = _requests(
+        [(0, "float64", N, 0), (1, "float64", N, 0), (2, "float32", N, 0)]
+    )
+    batches = batcher.plan(window)
+    widths = sorted(b.width for b in batches)
+    assert widths == [1, 2]
+    assert batcher.refusals.get("dtype-mix") == 1
+
+
+def test_version_mismatch_splits_batches():
+    batcher = SpMVBatcher(max_batch=8)
+    window = _requests(
+        [(0, "float64", N, 0), (1, "float64", N, 0), (2, "float64", N, 1)]
+    )
+    batches = batcher.plan(window)
+    by_version = {b.key.matrix_version: b.width for b in batches}
+    assert by_version == {0: 2, 1: 1}
+    assert batcher.refusals.get("version-churn") == 1
+
+
+def test_shape_mismatch_refuses():
+    batcher = SpMVBatcher(max_batch=8)
+    window = _requests(
+        [(0, "float64", N, 0), (1, "float64", N, 0), (2, "float64", 2 * N, 0)]
+    )
+    batches = batcher.plan(window)
+    assert sorted(b.width for b in batches) == [1, 2]
+    assert batcher.refusals.get("shape-mismatch") == 1
+
+
+def test_lone_request_is_a_benign_refusal():
+    batcher = SpMVBatcher(max_batch=8)
+    batches = batcher.plan(_requests([(0, "float64", N, 0)]))
+    assert [b.width for b in batches] == [1]
+    assert batcher.refusals == {"lone-request": 1}
+
+
+def test_max_batch_chunks_wide_windows():
+    batcher = SpMVBatcher(max_batch=3)
+    window = _requests([(i, "float64", N, 0) for i in range(8)])
+    batches = batcher.plan(window)
+    assert [b.width for b in batches] == [3, 3, 2]
+    assert all(b.key == BatchKey(0, N, "float64") for b in batches)
+
+
+def test_service_version_churn_splits_but_stays_correct():
+    """A model update mid-stream pins versions: the batcher splits
+    across the update and every request computes against the matrix it
+    was admitted under."""
+    A0, A1 = _matrix(seed=0), _matrix(seed=9)
+    svc = SparseService(
+        A0,
+        [TenantConfig("t")],
+        ServiceConfig(procs=2, cache_capacity=0),
+    )
+    rng = np.random.default_rng(0)
+    xs = [rng.standard_normal(N) for _ in range(6)]
+    for x in xs[:3]:
+        svc.submit("t", x, arrival=0.0)
+    svc.update_model(A1)
+    for x in xs[3:]:
+        svc.submit("t", x, arrival=0.0)
+    svc.run()
+    for rid, x in enumerate(xs):
+        expect = (A0 if rid < 3 else A1) @ x
+        np.testing.assert_allclose(svc.responses[rid].y, expect, rtol=1e-9)
+    refusals = svc.stats().refusals
+    assert refusals.get("version-churn", 0) == 0  # both groups batched
+    assert svc.stats().batches == 2
+
+
+# ----------------------------------------------------------------------
+# Latency accounting vs the timeline profiler
+# ----------------------------------------------------------------------
+def test_latency_accounting_conserves_against_timeline():
+    """p50/p99 inputs are modeled times that reconcile with the
+    profiler: responses are causally ordered (arrival <= start <=
+    finish), the last finish IS the runtime horizon, and every
+    recorded span fits inside it."""
+    svc = _service(profile=True)
+    rng = np.random.default_rng(1)
+    for i in range(10):
+        svc.submit("t", rng.standard_normal(N), arrival=2.5e-4 * (i // 4))
+    responses = svc.run()
+    ok = [r for r in responses.values() if r.ok]
+    assert len(ok) == 10
+    for r in ok:
+        assert r.arrival <= r.start <= r.finish
+        assert r.latency >= 0.0
+    horizon = svc.runtime.elapsed()
+    assert max(r.finish for r in ok) == horizon
+    spans = svc.runtime.timeline.spans
+    assert spans, "profiling run recorded no spans"
+    assert max(s.finish for s in spans) <= horizon + 1e-12
+    # Per-request latencies decompose into wait + service: each
+    # response's start is at or after the window that launched it.
+    p99 = float(np.percentile([r.latency for r in ok], 99))
+    assert p99 <= horizon - min(r.arrival for r in ok)
